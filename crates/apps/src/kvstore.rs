@@ -1,0 +1,303 @@
+//! A distributed hash table (key-value store) on the MSPastry lookup
+//! primitive.
+//!
+//! PUT routes the value to the key's root, which stores it; GET routes to
+//! the root and succeeds when the root holds the value. This is the
+//! storage model of CFS/PAST-style systems the paper cites as motivation:
+//! consistent routing is what makes a GET find the node the PUT stored at.
+//! Without replication, a value is lost when its home node fails or a closer
+//! node joins; the evaluation quantifies exactly that, which is why real
+//! systems replicate across the leaf set.
+
+use crate::hash::object_key;
+use harness::{DeliveryRecord, ScriptedLookup};
+use mspastry::Key;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Store `name`'s value at its root.
+    Put {
+        /// Application-level key name.
+        name: u64,
+    },
+    /// Retrieve `name`'s value from its root.
+    Get {
+        /// Application-level key name.
+        name: u64,
+    },
+}
+
+impl KvOp {
+    /// The application key name.
+    pub fn name(&self) -> u64 {
+        match *self {
+            KvOp::Put { name } | KvOp::Get { name } => name,
+        }
+    }
+
+    /// The overlay key the operation routes to.
+    pub fn key(&self) -> Key {
+        object_key(self.name())
+    }
+}
+
+/// A timed, client-attributed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOp {
+    /// Issue time, trace-relative microseconds.
+    pub at_us: u64,
+    /// Issuing session index.
+    pub session: usize,
+    /// The operation.
+    pub op: KvOp,
+}
+
+/// Generates a PUT-then-GET workload: every name is PUT once, then GET
+/// repeatedly at random later times by random clients.
+pub fn generate_ops(
+    names: u64,
+    gets_per_name: u64,
+    sessions: usize,
+    duration_us: u64,
+    seed: u64,
+) -> Vec<TimedOp> {
+    generate_ops_with_gap(names, gets_per_name, sessions, duration_us, None, seed)
+}
+
+/// Like [`generate_ops`], bounding how long after its PUT a GET may fire.
+///
+/// Unbounded gaps measure long-term durability, where root churn from
+/// *joins* dominates and only value migration (which the home-store model
+/// does not perform) would help; bounded gaps isolate the failure-takeover
+/// behaviour that leaf-set replication addresses.
+pub fn generate_ops_with_gap(
+    names: u64,
+    gets_per_name: u64,
+    sessions: usize,
+    duration_us: u64,
+    max_get_delay_us: Option<u64>,
+    seed: u64,
+) -> Vec<TimedOp> {
+    assert!(sessions > 0 && duration_us > 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    for name in 0..names {
+        let put_at = rng.gen_range(0..duration_us / 2);
+        ops.push(TimedOp {
+            at_us: put_at,
+            session: rng.gen_range(0..sessions),
+            op: KvOp::Put { name },
+        });
+        let get_horizon = match max_get_delay_us {
+            Some(gap) => (put_at + gap).min(duration_us),
+            None => duration_us,
+        };
+        for _ in 0..gets_per_name {
+            ops.push(TimedOp {
+                at_us: rng.gen_range(put_at + 1..get_horizon.max(put_at + 2)),
+                session: rng.gen_range(0..sessions),
+                op: KvOp::Get { name },
+            });
+        }
+    }
+    ops.sort_by_key(|o| o.at_us);
+    ops
+}
+
+/// Encodes operations as scripted lookups. The payload encodes
+/// `op_index * 2 + is_get` so results can be correlated.
+pub fn to_script(ops: &[TimedOp]) -> Vec<ScriptedLookup> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, o)| ScriptedLookup {
+            at_us: o.at_us,
+            session: o.session,
+            key: o.op.key(),
+            payload: (i as u64) * 2 + matches!(o.op, KvOp::Get { .. }) as u64,
+        })
+        .collect()
+}
+
+/// Outcome statistics of a key-value run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvStats {
+    /// PUTs that reached a home node.
+    pub puts_stored: u64,
+    /// GETs that reached a node.
+    pub gets_routed: u64,
+    /// GETs that found the value (same node the PUT stored at).
+    pub gets_hit: u64,
+    /// GETs that reached a node without the value (home changed or failed).
+    pub gets_missed: u64,
+    /// GETs for names whose PUT never reached the overlay (the putting
+    /// client was down); excluded from the availability rate.
+    pub gets_no_put: u64,
+}
+
+impl KvStats {
+    /// Fraction of routed GETs that found their value, among names that were
+    /// actually stored.
+    pub fn hit_rate(&self) -> f64 {
+        let eligible = self.gets_hit + self.gets_missed;
+        if eligible == 0 {
+            0.0
+        } else {
+            self.gets_hit as f64 / eligible as f64
+        }
+    }
+}
+
+/// Evaluates deliveries against the operation list with no replication:
+/// each value lives only on the session its PUT was delivered at.
+pub fn evaluate(ops: &[TimedOp], deliveries: &[DeliveryRecord]) -> KvStats {
+    evaluate_replicated(ops, deliveries, 0)
+}
+
+/// Evaluates deliveries with PAST-style leaf-set replication: a PUT stores
+/// the value on the root *and* on its `replicas` closest leaf-set members
+/// (the `replica_sessions` the root reported at delivery time). A GET hits
+/// when it is delivered at any current holder — which is exactly what makes
+/// the value survive the root's failure: the new root is one of the
+/// replicas.
+pub fn evaluate_replicated(
+    ops: &[TimedOp],
+    deliveries: &[DeliveryRecord],
+    replicas: usize,
+) -> KvStats {
+    // Deliveries are time-ordered by construction of the simulation.
+    let mut store: HashMap<u64, Vec<usize>> = HashMap::new(); // name -> holder sessions
+    let mut stats = KvStats {
+        puts_stored: 0,
+        gets_routed: 0,
+        gets_hit: 0,
+        gets_missed: 0,
+        gets_no_put: 0,
+    };
+    for d in deliveries {
+        let idx = (d.payload / 2) as usize;
+        let is_get = d.payload % 2 == 1;
+        let Some(op) = ops.get(idx) else {
+            continue;
+        };
+        let name = op.op.name();
+        if is_get {
+            stats.gets_routed += 1;
+            match store.get(&name) {
+                Some(h) if h.contains(&d.session) => stats.gets_hit += 1,
+                Some(_) => stats.gets_missed += 1,
+                None => stats.gets_no_put += 1,
+            }
+        } else {
+            stats.puts_stored += 1;
+            let mut holders = vec![d.session];
+            holders.extend(d.replica_sessions.iter().copied().take(replicas));
+            store.insert(name, holders);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspastry::Id;
+
+    #[test]
+    fn ops_are_sorted_and_puts_precede_their_gets() {
+        let ops = generate_ops(50, 3, 10, 1_000_000, 1);
+        assert_eq!(ops.len(), 200);
+        for w in ops.windows(2) {
+            assert!(w[0].at_us <= w[1].at_us);
+        }
+        let mut put_time = HashMap::new();
+        for o in &ops {
+            match o.op {
+                KvOp::Put { name } => {
+                    put_time.insert(name, o.at_us);
+                }
+                KvOp::Get { name } => {
+                    assert!(o.at_us > put_time[&name]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_home_nodes() {
+        let ops = vec![
+            TimedOp {
+                at_us: 10,
+                session: 0,
+                op: KvOp::Put { name: 7 },
+            },
+            TimedOp {
+                at_us: 20,
+                session: 1,
+                op: KvOp::Get { name: 7 },
+            },
+            TimedOp {
+                at_us: 30,
+                session: 1,
+                op: KvOp::Get { name: 7 },
+            },
+        ];
+        let key = object_key(7);
+        let deliveries = vec![
+            DeliveryRecord {
+                at_us: 11,
+                session: 5,
+                key,
+                payload: 0, // put, op 0
+                correct: true,
+                issued_at_us: 10,
+                hops: 1,
+                replica_sessions: vec![6, 7],
+            },
+            DeliveryRecord {
+                at_us: 21,
+                session: 5,
+                key,
+                payload: 3, // get, op 1 → same home: hit
+                correct: true,
+                issued_at_us: 20,
+                hops: 1,
+                replica_sessions: vec![],
+            },
+            DeliveryRecord {
+                at_us: 31,
+                session: 6,
+                key,
+                payload: 5, // get, op 2 → different node: miss
+                correct: true,
+                issued_at_us: 30,
+                hops: 1,
+                replica_sessions: vec![],
+            },
+        ];
+        let stats = evaluate(&ops, &deliveries);
+        assert_eq!(stats.puts_stored, 1);
+        assert_eq!(stats.gets_hit, 1);
+        assert_eq!(stats.gets_missed, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+        // With one replica the second GET (delivered at session 6, the first
+        // replica) becomes a hit.
+        let stats = evaluate_replicated(&ops, &deliveries, 1);
+        assert_eq!(stats.gets_hit, 2);
+        assert_eq!(stats.gets_missed, 0);
+    }
+
+    #[test]
+    fn script_payload_encoding_round_trips() {
+        let ops = generate_ops(5, 1, 2, 1000, 2);
+        let script = to_script(&ops);
+        for (i, s) in script.iter().enumerate() {
+            assert_eq!((s.payload / 2) as usize, i);
+            assert_eq!(s.payload % 2 == 1, matches!(ops[i].op, KvOp::Get { .. }));
+            assert_ne!(s.key, Id(0));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Applications built on the MSPastry lookup primitive.
+//!
+//! * [`squirrel`] — the decentralized cooperative web cache used by the
+//!   paper's simulator-validation experiment (Figure 8), with a synthetic
+//!   web workload ([`web_workload`]) exhibiting the weekday/weekend pattern
+//!   of the real deployment.
+//! * [`kvstore`] — a CFS/PAST-style distributed hash table demonstrating why
+//!   consistent routing matters for storage applications.
+//! * [`hash`] — 128-bit object-to-key hashing (the simulation stand-in for
+//!   Squirrel's SHA-1 of the URL).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use apps::squirrel::{run_squirrel, SquirrelParams};
+//!
+//! let result = run_squirrel(&SquirrelParams::quick());
+//! println!(
+//!     "hit rate {:.2}, incorrect deliveries {}",
+//!     result.cache.hit_rate(),
+//!     result.run.report.incorrect
+//! );
+//! ```
+
+pub mod hash;
+pub mod kvstore;
+pub mod squirrel;
+pub mod web_workload;

@@ -1,0 +1,269 @@
+//! Squirrel: a decentralized peer-to-peer web cache on MSPastry (§5.3.1).
+//!
+//! Each participating desktop runs a proxy; web requests are redirected to
+//! the proxy, which hashes the object URL to a key and routes a lookup
+//! through MSPastry. The key's root node is responsible for caching the
+//! object (the paper's *home-store* model): the first request for an object
+//! is a miss (fetched from the origin server), subsequent requests hit the
+//! home node's cache while the same node remains the key's root.
+//!
+//! The paper validates its simulator by replaying six days of deployment
+//! logs (52 machines). We reproduce the experiment with a synthetic workload
+//! and machine up/down schedule of the same shape (DESIGN.md substitution
+//! #3) and compare the simulated traffic time series.
+
+use crate::web_workload::{self, WebWorkloadParams};
+use churn::synth::DAY_US;
+use churn::{Session, Trace};
+use harness::{run, RunConfig, RunResult, ScriptedLookup, Workload};
+use mspastry::Config;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use topology::TopologyKind;
+
+/// Parameters of a Squirrel deployment simulation.
+#[derive(Debug, Clone)]
+pub struct SquirrelParams {
+    /// The web workload.
+    pub web: WebWorkloadParams,
+    /// Mean machine uptime, microseconds (corporate desktops: ~37.7 h).
+    pub mean_up_us: f64,
+    /// Mean machine downtime between sessions, microseconds.
+    pub mean_down_us: f64,
+    /// Protocol configuration.
+    pub protocol: Config,
+    /// Topology (the deployment ran on a corporate network).
+    pub topology: TopologyKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SquirrelParams {
+    fn default() -> Self {
+        SquirrelParams {
+            web: WebWorkloadParams::default(),
+            mean_up_us: 37.7 * 3600.0 * 1e6,
+            mean_down_us: 2.0 * 3600.0 * 1e6,
+            protocol: Config::default(),
+            topology: TopologyKind::CorpNetTiny,
+            seed: 4242,
+        }
+    }
+}
+
+impl SquirrelParams {
+    /// A fast preset: 20 machines, 1 day.
+    pub fn quick() -> Self {
+        SquirrelParams {
+            web: WebWorkloadParams {
+                clients: 20,
+                duration_us: DAY_US,
+                objects: 2_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Cache statistics of a Squirrel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Requests that reached a home node.
+    pub served: u64,
+    /// Requests served from a warm home-node cache.
+    pub hits: u64,
+    /// Requests that had to fetch from the origin server.
+    pub misses: u64,
+    /// Requests skipped because the client machine was down.
+    pub skipped: u64,
+}
+
+impl CacheStats {
+    /// Cache hit rate among served requests.
+    pub fn hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.served as f64
+        }
+    }
+}
+
+/// Result of a Squirrel simulation.
+#[derive(Debug)]
+pub struct SquirrelResult {
+    /// The underlying overlay run (metrics, traffic series, …).
+    pub run: RunResult,
+    /// Web-cache statistics.
+    pub cache: CacheStats,
+}
+
+/// Builds the machine up/down schedule: each client machine alternates
+/// exponential up and down periods; every up period is one overlay session.
+/// Returns the churn trace plus, per machine, its `(up_start, up_end,
+/// session_index)` intervals.
+pub fn machine_schedule(
+    machines: usize,
+    duration_us: u64,
+    mean_up_us: f64,
+    mean_down_us: f64,
+    seed: u64,
+) -> (Trace, Vec<Vec<(u64, u64, usize)>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sessions = Vec::new();
+    let mut schedule = vec![Vec::new(); machines];
+    let exp = |rng: &mut SmallRng, mean: f64| {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        (-mean * u.ln()).max(1.0) as u64
+    };
+    for (m, sched) in schedule.iter_mut().enumerate() {
+        let mut t = 0u64;
+        // Start machines mid-uptime so the overlay exists on day one.
+        let mut up = t + exp(&mut rng, mean_up_us / 2.0);
+        loop {
+            let idx = sessions.len();
+            sessions.push(Session {
+                arrive_us: t,
+                depart_us: up,
+            });
+            sched.push((t, up, idx));
+            if up >= duration_us {
+                break;
+            }
+            t = up + exp(&mut rng, mean_down_us);
+            if t >= duration_us {
+                break;
+            }
+            up = t + exp(&mut rng, mean_up_us);
+        }
+        let _ = m;
+    }
+    // `Trace::new` sorts its sessions; remap the schedule's indices to the
+    // post-sort positions so scripted requests address the right session.
+    let mut order: Vec<usize> = (0..sessions.len()).collect();
+    order.sort_by_key(|&i| sessions[i]);
+    let mut post_sort_index = vec![0usize; sessions.len()];
+    for (new_idx, &orig_idx) in order.iter().enumerate() {
+        post_sort_index[orig_idx] = new_idx;
+    }
+    for sched in &mut schedule {
+        for entry in sched {
+            entry.2 = post_sort_index[entry.2];
+        }
+    }
+    (Trace::new("squirrel-machines", duration_us, sessions), schedule)
+}
+
+/// Runs the Squirrel deployment simulation.
+pub fn run_squirrel(params: &SquirrelParams) -> SquirrelResult {
+    let requests = web_workload::generate(&params.web);
+    let (trace, schedule) = machine_schedule(
+        params.web.clients,
+        params.web.duration_us,
+        params.mean_up_us,
+        params.mean_down_us,
+        params.seed ^ 0x51,
+    );
+    // Map each request to the session of its machine that is up at request
+    // time; requests while the machine is down never reach the overlay.
+    let mut script: Vec<ScriptedLookup> = Vec::with_capacity(requests.len());
+    let mut skipped = 0u64;
+    let raw = web_workload::to_script(&requests);
+    for (req, s) in requests.iter().zip(raw) {
+        let session = schedule[req.client]
+            .iter()
+            .find(|&&(a, d, _)| a <= req.at_us && req.at_us < d)
+            .map(|&(_, _, idx)| idx);
+        match session {
+            Some(idx) => script.push(ScriptedLookup { session: idx, ..s }),
+            None => skipped += 1,
+        }
+    }
+
+    let mut cfg = RunConfig::new(trace);
+    cfg.protocol = params.protocol.clone();
+    cfg.topology = params.topology.clone();
+    cfg.workload = Workload::Scripted(script);
+    cfg.record_deliveries = true;
+    cfg.seed = params.seed;
+    cfg.metrics_window_us = 3600 * 1_000_000; // hourly series, as in Fig. 8
+    let run_result = run(cfg);
+
+    // Home-store cache model: (home session, object) pairs that have been
+    // fetched once are warm; a session's cache dies with the session, and a
+    // root change moves requests to a cold home node.
+    let mut warm: HashSet<(usize, u64)> = HashSet::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for d in &run_result.deliveries {
+        if warm.insert((d.session, d.payload)) {
+            misses += 1;
+        } else {
+            hits += 1;
+        }
+    }
+    let served = hits + misses;
+    SquirrelResult {
+        cache: CacheStats {
+            served,
+            hits,
+            misses,
+            skipped: skipped + run_result.skipped_scripted,
+        },
+        run: run_result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sessions_alternate_and_cover() {
+        let (trace, schedule) = machine_schedule(5, 3 * DAY_US, 30.0 * 3600e6, 3600e6, 1);
+        assert_eq!(schedule.len(), 5);
+        for sched in &schedule {
+            assert!(!sched.is_empty());
+            for w in sched.windows(2) {
+                assert!(w[0].1 <= w[1].0, "up periods must not overlap");
+            }
+        }
+        assert!(trace.sessions().len() >= 5);
+    }
+
+    #[test]
+    fn squirrel_serves_requests_with_reasonable_hit_rate() {
+        let mut p = SquirrelParams::quick();
+        p.web.duration_us = DAY_US / 2;
+        let res = run_squirrel(&p);
+        assert!(res.cache.served > 50, "served {}", res.cache.served);
+        // Zipf popularity means repeated objects: a visibly warm cache.
+        assert!(
+            res.cache.hit_rate() > 0.2,
+            "hit rate {}",
+            res.cache.hit_rate()
+        );
+        // Every delivery must be consistent in a small stable overlay.
+        assert_eq!(res.run.report.incorrect, 0);
+    }
+
+    #[test]
+    fn traffic_series_follows_the_daily_pattern() {
+        let mut p = SquirrelParams::quick();
+        p.web.duration_us = DAY_US;
+        let res = run_squirrel(&p);
+        let lookups: Vec<f64> = res
+            .run
+            .report
+            .windows
+            .iter()
+            .map(|w| w.per_category_per_node_per_sec[harness::category_index(mspastry::Category::Lookup)])
+            .collect();
+        assert!(lookups.len() >= 20);
+        let peak = lookups.iter().cloned().fold(0.0, f64::max);
+        let night = lookups[..4].iter().cloned().fold(0.0, f64::max);
+        assert!(peak > 2.0 * night.max(1e-6), "peak {peak} night {night}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Synthetic web-request workload for the Squirrel validation experiment.
+//!
+//! The paper validates its simulator against logs of a real Squirrel
+//! deployment: 52 machines at Microsoft Research Cambridge over six days (4
+//! week days and a weekend, "clearly visible" in the traffic). The real logs
+//! are not public (DESIGN.md substitution #3), so this module generates a
+//! workload with the same character: a fixed client population, Zipf-like
+//! object popularity, and a strong weekday-daytime request-rate profile that
+//! goes quiet on the weekend.
+
+use crate::hash::object_key;
+use churn::synth::DAY_US;
+use harness::ScriptedLookup;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the web workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WebWorkloadParams {
+    /// Number of client machines (paper deployment: 52).
+    pub clients: usize,
+    /// Workload horizon, microseconds (paper: 6 days starting Thursday
+    /// morning: 4 week days + a weekend).
+    pub duration_us: u64,
+    /// Day-of-week of day 0 (0 = Monday ... 6 = Sunday). The paper's log
+    /// starts on a Thursday.
+    pub start_weekday: usize,
+    /// Mean requests per client per second at the weekday daytime peak.
+    pub peak_rate_per_client: f64,
+    /// Number of distinct web objects.
+    pub objects: usize,
+    /// Zipf exponent of object popularity (~0.8 for web traffic).
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WebWorkloadParams {
+    fn default() -> Self {
+        WebWorkloadParams {
+            clients: 52,
+            duration_us: 6 * DAY_US,
+            start_weekday: 3, // Thursday
+            peak_rate_per_client: 0.05,
+            objects: 20_000,
+            zipf_s: 0.8,
+            seed: 777,
+        }
+    }
+}
+
+/// One generated web request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WebRequest {
+    /// Request time, microseconds from workload start.
+    pub at_us: u64,
+    /// Requesting client index (`0..clients`).
+    pub client: usize,
+    /// Requested object identifier.
+    pub object: u64,
+}
+
+/// The weekday/daytime activity profile in `[0, 1]`.
+pub fn activity(params: &WebWorkloadParams, t_us: u64) -> f64 {
+    let day_idx = (t_us / DAY_US) as usize;
+    let weekday = (params.start_weekday + day_idx) % 7;
+    let weekend = weekday >= 5;
+    let tod = (t_us % DAY_US) as f64 / DAY_US as f64;
+    // Office-hours bump centred at 14:00 with a wide plateau.
+    let hours = (-((tod - 0.58) * (tod - 0.58)) / 0.018).exp();
+    let base = if weekend { 0.06 } else { 0.15 };
+    let peak = if weekend { 0.12 } else { 1.0 };
+    base + (peak - base) * hours
+}
+
+/// Generates the request list, sorted by time.
+pub fn generate(params: &WebWorkloadParams) -> Vec<WebRequest> {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    // Zipf sampling by inverse-CDF over precomputed cumulative weights.
+    let mut cum = Vec::with_capacity(params.objects);
+    let mut total = 0.0;
+    for rank in 1..=params.objects {
+        total += 1.0 / (rank as f64).powf(params.zipf_s);
+        cum.push(total);
+    }
+    let mut requests = Vec::new();
+    let step = 60_000_000u64; // 1 minute
+    let mut t = 0;
+    while t < params.duration_us {
+        let rate = params.peak_rate_per_client * activity(params, t) * params.clients as f64;
+        let expected = rate * step as f64 / 1e6;
+        let n = churn::synth::poisson(&mut rng, expected);
+        for _ in 0..n {
+            let at_us = t + rng.gen_range(0..step);
+            let client = rng.gen_range(0..params.clients);
+            let u: f64 = rng.gen_range(0.0..total);
+            let object = cum.partition_point(|&c| c < u) as u64;
+            requests.push(WebRequest {
+                at_us,
+                client,
+                object,
+            });
+        }
+        t += step;
+    }
+    requests.sort_by_key(|r| r.at_us);
+    requests
+}
+
+/// Converts requests into the harness's scripted-lookup workload. The lookup
+/// payload carries the object id so cache statistics can be computed from the
+/// delivery records.
+pub fn to_script(requests: &[WebRequest]) -> Vec<ScriptedLookup> {
+    requests
+        .iter()
+        .map(|r| ScriptedLookup {
+            at_us: r.at_us,
+            session: r.client,
+            key: object_key(r.object),
+            payload: r.object,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> WebWorkloadParams {
+        WebWorkloadParams {
+            clients: 10,
+            duration_us: 2 * DAY_US,
+            objects: 500,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn requests_are_sorted_and_in_range() {
+        let p = quick();
+        let reqs = generate(&p);
+        assert!(!reqs.is_empty());
+        for w in reqs.windows(2) {
+            assert!(w[0].at_us <= w[1].at_us);
+        }
+        for r in &reqs {
+            assert!(r.client < p.clients);
+            assert!((r.object as usize) < p.objects);
+            assert!(r.at_us < p.duration_us);
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let reqs = generate(&quick());
+        let top: usize = reqs.iter().filter(|r| r.object < 10).count();
+        // With Zipf(0.8) over 500 objects, the top-10 objects draw far more
+        // than the uniform 2 % share.
+        assert!(
+            top as f64 / reqs.len() as f64 > 0.08,
+            "top-10 share {}",
+            top as f64 / reqs.len() as f64
+        );
+    }
+
+    #[test]
+    fn weekday_peaks_dominate_weekends() {
+        let p = WebWorkloadParams {
+            start_weekday: 3, // Thu; days 2,3 (Sat, Sun) are the weekend
+            ..quick()
+        };
+        let p6 = WebWorkloadParams {
+            duration_us: 4 * DAY_US,
+            ..p
+        };
+        let reqs = generate(&p6);
+        let day = |i: u64| {
+            reqs.iter()
+                .filter(|r| r.at_us / DAY_US == i)
+                .count() as f64
+        };
+        let thursday = day(0);
+        let saturday = day(2);
+        assert!(
+            thursday > 3.0 * saturday,
+            "thursday {thursday} vs saturday {saturday}"
+        );
+    }
+
+    #[test]
+    fn activity_profile_bounds() {
+        let p = quick();
+        for t in (0..p.duration_us).step_by(3_600_000_000) {
+            let a = activity(&p, t);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn script_round_trips_object_ids() {
+        let reqs = generate(&quick());
+        let script = to_script(&reqs);
+        assert_eq!(script.len(), reqs.len());
+        for (s, r) in script.iter().zip(&reqs) {
+            assert_eq!(s.payload, r.object);
+            assert_eq!(s.key, object_key(r.object));
+            assert_eq!(s.session, r.client);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! §5.3 "Active probing and per-hop acks" (text): the reliability/delay
+//! contribution of each technique.
+//!
+//! Expected shape (paper): 32 % of lookups lost with neither technique;
+//! ~2.8e-5 loss with acks only; ~1.6e-5 with both; acks-only RDP is 17 %
+//! higher than both at 0.01 lookups/s/node and 61 % higher at 0.001;
+//! probing-only cannot reach 1e-5 losses.
+
+use bench::{header, scale};
+use harness::Workload;
+
+fn main() {
+    let s = scale();
+    header(
+        "Ablation",
+        "per-hop acks and active probing on/off (Gnutella trace)",
+        s,
+    );
+
+    println!();
+    println!(
+        "{:>22} | {:>10} | {:>6} | {:>18}",
+        "configuration", "loss", "RDP", "control msg/s/node"
+    );
+    let combos = [
+        ("neither", false, false),
+        ("probing only", false, true),
+        ("acks only", true, false),
+        ("both (base)", true, true),
+    ];
+    for (i, (name, acks, probing)) in combos.into_iter().enumerate() {
+        let trace = bench::gnutella_sweep_trace(s, 40 + i as u64);
+        let mut cfg = bench::base_config(s, trace);
+        cfg.protocol.per_hop_acks = acks;
+        cfg.protocol.active_rt_probing = probing;
+        cfg.seed = 5000 + i as u64;
+        let res = bench::timed_run(name, cfg);
+        println!(
+            "{:>22} | {:>10} | {:>6.2} | {:>18.3}",
+            name,
+            bench::sci(res.report.loss_rate),
+            res.report.mean_rdp,
+            res.report.control_msgs_per_node_per_sec,
+        );
+    }
+
+    println!();
+    println!("--- delay contribution of probing at low application traffic ---");
+    println!(
+        "{:>22} | {:>10} | {:>6}",
+        "configuration", "lookups/s", "RDP"
+    );
+    for (i, (name, probing, rate)) in [
+        ("acks only", false, 0.01),
+        ("both", true, 0.01),
+        ("acks only", false, 0.001),
+        ("both", true, 0.001),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let trace = bench::gnutella_sweep_trace(s, 50 + i as u64);
+        let mut cfg = bench::base_config(s, trace);
+        cfg.protocol.active_rt_probing = probing;
+        cfg.workload = Workload::Poisson {
+            rate_per_node_per_sec: rate,
+        };
+        cfg.seed = 6000 + i as u64;
+        let res = bench::timed_run(&format!("{name}@{rate}"), cfg);
+        println!("{:>22} | {:>10} | {:>6.2}", name, rate, res.report.mean_rdp);
+    }
+    println!();
+    println!("expected (paper): neither -> ~32% loss; acks-only ~2.8e-5; both");
+    println!("~1.6e-5; acks-only RDP +17% at 0.01 lookups/s and +61% at 0.001.");
+}

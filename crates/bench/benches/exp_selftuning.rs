@@ -1,0 +1,46 @@
+//! §5.3 "self-tuning" (text): tuning the active-probing period to a target
+//! raw loss rate.
+//!
+//! The paper measures, *without per-hop acks*, a lookup loss rate of 5.3 %
+//! when tuning to Lr = 5 % and 1.2 % when tuning to 1 %, with control
+//! traffic 2.6x higher at the tighter target.
+
+use bench::{header, scale};
+
+fn main() {
+    let s = scale();
+    header(
+        "Self-tuning",
+        "achieved raw loss vs target (per-hop acks off)",
+        s,
+    );
+    println!();
+    println!(
+        "{:>8} | {:>10} | {:>18} | {:>14}",
+        "target", "loss", "control msg/s/node", "mean Trt (s)"
+    );
+    let mut controls = Vec::new();
+    for (i, target) in [0.05, 0.01].into_iter().enumerate() {
+        let trace = bench::gnutella_sweep_trace(s, 60 + i as u64);
+        let mut cfg = bench::base_config(s, trace);
+        cfg.protocol.per_hop_acks = false;
+        cfg.protocol.target_raw_loss = target;
+        cfg.seed = 7000 + i as u64;
+        let res = bench::timed_run(&format!("Lr={target}"), cfg);
+        println!(
+            "{:>7.0}% | {:>10} | {:>18.3} | {:>14.1}",
+            target * 100.0,
+            bench::sci(res.report.loss_rate),
+            res.report.control_msgs_per_node_per_sec,
+            res.mean_t_rt_us / 1e6,
+        );
+        controls.push(res.report.control_msgs_per_node_per_sec);
+    }
+    println!();
+    println!(
+        "control traffic ratio 1% / 5% target: {:.2}x (paper: 2.6x)",
+        controls[1] / controls[0].max(1e-9)
+    );
+    println!("expected (paper): achieved loss ~5.3% at the 5% target and ~1.2%");
+    println!("at the 1% target; the tighter target probes much faster.");
+}

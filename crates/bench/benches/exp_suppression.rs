@@ -1,0 +1,64 @@
+//! §5.3 "suppression" (text): application traffic replaces failure-detection
+//! traffic.
+//!
+//! The paper reports that raising application traffic from 0 to 1 lookup per
+//! second per node suppresses over 70 % of the active probes and improves
+//! RDP by 13 % (failures are detected sooner).
+
+use bench::{header, scale};
+use harness::{category_index, Workload};
+use mspastry::Category;
+
+fn main() {
+    let s = scale();
+    header(
+        "Suppression",
+        "probe traffic vs application traffic (Gnutella trace)",
+        s,
+    );
+    println!();
+    println!(
+        "{:>12} | {:>12} | {:>12} | {:>6}",
+        "lookups/s", "rt-probes/s", "leafset/s", "RDP"
+    );
+    let mut probes_at = Vec::new();
+    for (i, rate) in [0.0, 0.01, 0.1, 1.0].into_iter().enumerate() {
+        let trace = bench::gnutella_sweep_trace(s, 70 + i as u64);
+        let mut cfg = bench::base_config(s, trace);
+        cfg.workload = if rate == 0.0 {
+            Workload::None
+        } else {
+            Workload::Poisson {
+                rate_per_node_per_sec: rate,
+            }
+        };
+        cfg.seed = 8000 + i as u64;
+        let res = bench::timed_run(&format!("rate={rate}"), cfg);
+        // Exact liveness-probe count (the category also contains
+        // unsuppressed maintenance messages).
+        let rt = res
+            .report
+            .fine_counts
+            .iter()
+            .find(|(k, _)| *k == "rt-probe")
+            .map(|(_, c)| *c)
+            .unwrap_or(0) as f64
+            / res.report.node_seconds;
+        let ls = res.report.totals_per_node_per_sec[category_index(Category::LeafSet)];
+        println!(
+            "{:>12} | {:>12.4} | {:>12.4} | {:>6.2}",
+            rate, rt, ls, res.report.mean_rdp
+        );
+        probes_at.push((rate, rt));
+    }
+    let at0 = probes_at[0].1;
+    let at1 = probes_at.last().unwrap().1;
+    println!();
+    println!(
+        "probe suppression at 1 lookup/s/node: {:.0}% (paper: >70%)",
+        (1.0 - at1 / at0.max(1e-12)) * 100.0
+    );
+    println!("expected (paper): probes mostly suppressed at high lookup rates");
+    println!("and RDP improves slightly (~13%) because failures are detected");
+    println!("sooner by the traffic itself.");
+}

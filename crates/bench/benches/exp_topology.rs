@@ -1,0 +1,51 @@
+//! §5.3 "Network topology" (text table): lookup loss, control traffic and
+//! RDP for the Gnutella trace on the CorpNet, GATech and Mercator
+//! topologies.
+//!
+//! Expected shape: control traffic nearly identical across topologies
+//! (paper: 0.239 / 0.245 / 0.256 msg/s/node); RDP strongly
+//! topology-dependent and ordered CorpNet < GATech < Mercator (paper: 1.45 /
+//! 1.80 / 2.12); losses ~1e-5 and zero inconsistencies everywhere.
+
+use bench::{header, scale, Scale};
+use topology::TopologyKind;
+
+fn main() {
+    let s = scale();
+    header("Topology table", "Gnutella trace on three topologies", s);
+    let topologies: [(&str, TopologyKind); 3] = match s {
+        Scale::Full => [
+            ("CorpNet", TopologyKind::CorpNet),
+            ("GATech", TopologyKind::GaTech),
+            ("Mercator", TopologyKind::Mercator),
+        ],
+        Scale::Quick => [
+            ("CorpNet", TopologyKind::CorpNet),
+            ("GATech", TopologyKind::GaTechSmall),
+            ("Mercator", TopologyKind::Mercator),
+        ],
+    };
+    println!();
+    println!(
+        "{:>9} | {:>6} | {:>18} | {:>10} | {:>10}",
+        "topology", "RDP", "control msg/s/node", "loss", "incorrect"
+    );
+    for (i, (name, kind)) in topologies.into_iter().enumerate() {
+        let trace = bench::gnutella_sweep_trace(s, 30 + i as u64);
+        let mut cfg = bench::base_config(s, trace);
+        cfg.topology = kind;
+        cfg.seed = 4000 + i as u64;
+        let res = bench::timed_run(name, cfg);
+        println!(
+            "{:>9} | {:>6.2} | {:>18.3} | {:>10} | {:>10}",
+            name,
+            res.report.mean_rdp,
+            res.report.control_msgs_per_node_per_sec,
+            bench::sci(res.report.loss_rate),
+            bench::sci(res.report.incorrect_rate),
+        );
+    }
+    println!();
+    println!("expected (paper): loss <1.6e-5 on all; control ~0.24-0.26 on all;");
+    println!("RDP 1.45 (CorpNet) / 1.80 (GATech) / 2.12 (Mercator).");
+}

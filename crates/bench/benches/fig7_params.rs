@@ -1,0 +1,61 @@
+//! Figure 7: the effect of the leaf-set size `l` on control traffic and RDP
+//! (left, centre) and of the digit width `b` on RDP (right), with the
+//! Gnutella trace.
+//!
+//! Expected shape: control traffic is nearly flat in `l` (heartbeats go to
+//! one neighbour regardless of `l`; the paper reports +7 % from l=16 to 32);
+//! RDP decreases with `l`; RDP rises steeply as `b` shrinks (more hops)
+//! while control traffic changes little (~0.05 msg/s/node from b=4 to b=1).
+
+use bench::{header, scale};
+
+fn main() {
+    let s = scale();
+    header("Figure 7", "parameter sweeps: leaf-set size l and digit width b", s);
+
+    println!();
+    println!("--- left/centre: leaf-set size l ---");
+    println!(
+        "{:>4} | {:>18} | {:>6} | {:>6}",
+        "l", "control msg/s/node", "RDP", "hops"
+    );
+    for (i, l) in [8usize, 16, 32, 48, 64].iter().enumerate() {
+        let trace = bench::gnutella_sweep_trace(s, 10 + i as u64);
+        let mut cfg = bench::base_config(s, trace);
+        cfg.protocol.leaf_set_size = *l;
+        cfg.seed = 2000 + i as u64;
+        let res = bench::timed_run(&format!("l={l}"), cfg);
+        println!(
+            "{:>4} | {:>18.3} | {:>6.2} | {:>6.2}",
+            l,
+            res.report.control_msgs_per_node_per_sec,
+            res.report.mean_rdp,
+            res.report.mean_hops
+        );
+    }
+
+    println!();
+    println!("--- right: digit width b ---");
+    println!(
+        "{:>4} | {:>6} | {:>6} | {:>18}",
+        "b", "RDP", "hops", "control msg/s/node"
+    );
+    for (i, b) in [1u8, 2, 3, 4, 5].iter().enumerate() {
+        let trace = bench::gnutella_sweep_trace(s, 20 + i as u64);
+        let mut cfg = bench::base_config(s, trace);
+        cfg.protocol.b = *b;
+        cfg.seed = 3000 + i as u64;
+        let res = bench::timed_run(&format!("b={b}"), cfg);
+        println!(
+            "{:>4} | {:>6.2} | {:>6.2} | {:>18.3}",
+            b,
+            res.report.mean_rdp,
+            res.report.mean_hops,
+            res.report.control_msgs_per_node_per_sec
+        );
+    }
+    println!();
+    println!("expected (paper): control traffic +7% from l=16 to l=32; RDP");
+    println!("decreasing in l; RDP rising sharply as b decreases; control");
+    println!("traffic only ~0.05 msg/s/node lower at b=1 than b=4.");
+}

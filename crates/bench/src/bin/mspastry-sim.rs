@@ -1,0 +1,180 @@
+//! Command-line experiment runner: simulate an MSPastry overlay under a
+//! configurable trace, topology, workload and protocol configuration, and
+//! print the paper's metrics.
+//!
+//! ```text
+//! USAGE: mspastry-sim [OPTIONS]
+//!
+//!   --trace NAME        gnutella | overnet | microsoft | poisson  [poisson]
+//!   --nodes N           mean active nodes (poisson) / scale base  [200]
+//!   --session MIN       mean session minutes (poisson)            [60]
+//!   --hours H           trace duration, hours                     [2]
+//!   --topology NAME     gatech | gatech-small | mercator | corpnet [gatech-small]
+//!   --loss PCT          network loss rate, percent                [0]
+//!   --lookups RATE      lookups per node per second               [0.01]
+//!   --b N               digit width                               [4]
+//!   --l N               leaf set size                             [32]
+//!   --target-lr PCT     self-tuning raw-loss target, percent      [5]
+//!   --seed N            RNG seed                                  [1]
+//!   --no-acks           disable per-hop acks
+//!   --no-probing        disable active routing-table probing
+//!   --no-suppression    disable probe suppression
+//!   --no-selftuning     disable self-tuning (fixed 30 s period)
+//!   --windows           print the per-window time series
+//! ```
+
+use churn::poisson::PoissonParams;
+use harness::{run, RunConfig, Workload, CATEGORY_NAMES};
+use topology::TopologyKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let get = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let parse_or = |name: &str, default: f64| -> f64 {
+        get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))))
+            .unwrap_or(default)
+    };
+
+    let hours = parse_or("--hours", 2.0);
+    let duration_us = (hours * 3600e6) as u64;
+    let nodes = parse_or("--nodes", 200.0);
+    let session_min = parse_or("--session", 60.0);
+    let seed = parse_or("--seed", 1.0) as u64;
+
+    let trace = match get("--trace").as_deref().unwrap_or("poisson") {
+        "poisson" => churn::poisson::trace(&PoissonParams {
+            mean_nodes: nodes,
+            mean_session_us: session_min * 60e6,
+            duration_us,
+            seed: 404 + seed,
+        }),
+        "gnutella" => churn::gnutella::trace(&churn::gnutella::GnutellaParams {
+            population_scale: nodes / 2000.0,
+            duration_us,
+            seed: 101 + seed,
+        }),
+        "overnet" => churn::overnet::trace(&churn::overnet::OvernetParams {
+            population_scale: nodes / 450.0,
+            duration_us,
+            seed: 202 + seed,
+        }),
+        "microsoft" => churn::microsoft::trace(&churn::microsoft::MicrosoftParams {
+            population_scale: nodes / 15_150.0,
+            duration_us,
+            seed: 303 + seed,
+        }),
+        other => die(&format!("unknown trace: {other}")),
+    };
+
+    let mut cfg = RunConfig::new(trace);
+    cfg.topology = match get("--topology").as_deref().unwrap_or("gatech-small") {
+        "gatech" => TopologyKind::GaTech,
+        "gatech-small" => TopologyKind::GaTechSmall,
+        "mercator" => TopologyKind::Mercator,
+        "corpnet" => TopologyKind::CorpNet,
+        other => die(&format!("unknown topology: {other}")),
+    };
+    cfg.network_loss_rate = parse_or("--loss", 0.0) / 100.0;
+    let rate = parse_or("--lookups", 0.01);
+    cfg.workload = if rate > 0.0 {
+        Workload::Poisson {
+            rate_per_node_per_sec: rate,
+        }
+    } else {
+        Workload::None
+    };
+    cfg.seed = seed;
+    cfg.protocol.b = parse_or("--b", 4.0) as u8;
+    cfg.protocol.leaf_set_size = parse_or("--l", 32.0) as usize;
+    cfg.protocol.target_raw_loss = parse_or("--target-lr", 5.0) / 100.0;
+    cfg.protocol.per_hop_acks = !flag("--no-acks");
+    cfg.protocol.active_rt_probing = !flag("--no-probing");
+    cfg.protocol.probe_suppression = !flag("--no-suppression");
+    cfg.protocol.self_tuning = !flag("--no-selftuning");
+
+    eprintln!(
+        "simulating {} on {:?} for {hours} h (seed {seed}) ...",
+        cfg.trace.name(),
+        cfg.topology
+    );
+    let t0 = std::time::Instant::now();
+    let res = run(cfg);
+    let r = &res.report;
+    eprintln!(
+        "done in {:.1}s ({} events)",
+        t0.elapsed().as_secs_f64(),
+        res.sim_events
+    );
+
+    println!("active nodes at end      : {}", res.final_active);
+    println!("lookups issued           : {}", r.issued);
+    println!("delivered / lost         : {} / {}", r.delivered, r.lost);
+    println!("incorrect delivery rate  : {:.2e}", r.incorrect_rate);
+    println!("lookup loss rate         : {:.2e}", r.loss_rate);
+    println!("mean RDP                 : {:.2}", r.mean_rdp);
+    println!("mean hops                : {:.2}", r.mean_hops);
+    println!(
+        "control traffic          : {:.3} msg/s/node",
+        r.control_msgs_per_node_per_sec
+    );
+    for (i, name) in CATEGORY_NAMES.iter().enumerate() {
+        println!("  {:>18}: {:.4}", name, r.totals_per_node_per_sec[i]);
+    }
+    println!(
+        "wire bandwidth           : {:.1} bytes/s/node",
+        r.bytes_per_node_per_sec
+    );
+    println!("mean adopted Trt         : {:.1} s", res.mean_t_rt_us / 1e6);
+    println!("ring defects at end      : {}", res.ring_defects);
+    if let (Some(p50), Some(p95)) = (r.join_latency_quantile(0.5), r.join_latency_quantile(0.95)) {
+        println!(
+            "join latency p50 / p95   : {:.1} s / {:.1} s",
+            p50 as f64 / 1e6,
+            p95 as f64 / 1e6
+        );
+    }
+    if flag("--windows") {
+        println!();
+        println!("{:>10} | {:>6} | {:>9} | {:>8}", "t (min)", "RDP", "ctl/s/n", "active");
+        for w in &r.windows {
+            println!(
+                "{:>10} | {:>6.2} | {:>9.3} | {:>8.0}",
+                w.start_us / 60_000_000,
+                w.rdp,
+                w.control_per_node_per_sec,
+                w.mean_active_nodes
+            );
+        }
+    }
+}
+
+fn print_help() {
+    // The doc comment at the top of this file is the help text.
+    let src = include_str!("mspastry-sim.rs");
+    for line in src.lines().skip(4) {
+        if let Some(t) = line.strip_prefix("//! ") {
+            if !t.starts_with("```") {
+                println!("{t}");
+            }
+        } else if line == "//!" {
+            println!();
+        } else {
+            break;
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2);
+}

@@ -1,0 +1,210 @@
+//! Shared machinery for the paper-reproduction benchmark targets.
+//!
+//! Every figure and table of the paper's §5 has a bench target under
+//! `benches/` (all with `harness = false`, so `cargo bench` runs them as
+//! plain binaries that print the same rows/series the paper reports).
+//!
+//! Two scales are supported, selected by the `MSPASTRY_SCALE` environment
+//! variable:
+//!
+//! * `quick` (default) — scaled-down populations and durations so the whole
+//!   suite finishes in minutes; the result *shape* (who wins, by what factor,
+//!   where crossovers fall) matches the paper.
+//! * `full` — the paper's populations and durations (hours of wall time).
+
+use churn::gnutella::GnutellaParams;
+use churn::microsoft::MicrosoftParams;
+use churn::overnet::OvernetParams;
+use churn::Trace;
+use harness::{RunConfig, RunResult};
+use topology::TopologyKind;
+
+/// One minute in microseconds.
+pub const MIN: u64 = 60 * 1_000_000;
+/// One hour in microseconds.
+pub const HOUR: u64 = 60 * MIN;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down runs (default; minutes of wall time).
+    Quick,
+    /// Paper-scale runs (hours of wall time).
+    Full,
+}
+
+/// Reads the scale from `MSPASTRY_SCALE` (`quick`/`full`).
+pub fn scale() -> Scale {
+    match std::env::var("MSPASTRY_SCALE").as_deref() {
+        Ok("full") | Ok("FULL") => Scale::Full,
+        _ => Scale::Quick,
+    }
+}
+
+/// The Gnutella-like trace at the given scale.
+pub fn gnutella_trace(s: Scale) -> Trace {
+    match s {
+        Scale::Full => churn::gnutella::trace(&GnutellaParams::default()),
+        Scale::Quick => churn::gnutella::trace(&GnutellaParams {
+            population_scale: 0.1,
+            duration_us: 24 * HOUR,
+            ..Default::default()
+        }),
+    }
+}
+
+/// The OverNet-like trace at the given scale.
+pub fn overnet_trace(s: Scale) -> Trace {
+    match s {
+        Scale::Full => churn::overnet::trace(&OvernetParams::default()),
+        Scale::Quick => churn::overnet::trace(&OvernetParams {
+            population_scale: 0.4,
+            duration_us: 24 * HOUR,
+            ..Default::default()
+        }),
+    }
+}
+
+/// The Microsoft-corporate-like trace at the given scale.
+pub fn microsoft_trace(s: Scale) -> Trace {
+    match s {
+        Scale::Full => churn::microsoft::trace(&MicrosoftParams::default()),
+        Scale::Quick => churn::microsoft::trace(&MicrosoftParams {
+            population_scale: 0.012,
+            duration_us: 48 * HOUR,
+            ..Default::default()
+        }),
+    }
+}
+
+/// A short Gnutella-like trace for parameter sweeps (many runs).
+pub fn gnutella_sweep_trace(s: Scale, seed: u64) -> Trace {
+    match s {
+        Scale::Full => churn::gnutella::trace(&GnutellaParams {
+            seed: 101 + seed,
+            ..Default::default()
+        }),
+        Scale::Quick => churn::gnutella::trace(&GnutellaParams {
+            population_scale: 0.08,
+            duration_us: 2 * HOUR,
+            seed: 101 + seed,
+        }),
+    }
+}
+
+/// The GATech topology at the given scale.
+pub fn gatech(s: Scale) -> TopologyKind {
+    match s {
+        Scale::Full => TopologyKind::GaTech,
+        Scale::Quick => TopologyKind::GaTechSmall,
+    }
+}
+
+/// The base configuration of §5.1 around a trace.
+///
+/// Quick mode shortens the routing-table maintenance period from the paper's
+/// 20 minutes to 5: PNS converges through maintenance gossip *rounds*, and a
+/// quick trace is ~25x shorter than the paper's 60-hour runs, so the round
+/// count — not the wall-clock period — is what must be preserved.
+pub fn base_config(s: Scale, trace: Trace) -> RunConfig {
+    let mut cfg = RunConfig::new(trace);
+    cfg.topology = gatech(s);
+    if s == Scale::Quick {
+        cfg.protocol.rt_maintenance_period_us = 5 * MIN;
+    }
+    cfg
+}
+
+/// Runs and reports wall-clock time on stderr.
+pub fn timed_run(label: &str, cfg: RunConfig) -> RunResult {
+    let t0 = std::time::Instant::now();
+    let res = harness::run(cfg);
+    eprintln!(
+        "[{label}] {:.1}s wall, {} sim events, {} active at end",
+        t0.elapsed().as_secs_f64(),
+        res.sim_events,
+        res.final_active
+    );
+    res
+}
+
+/// Formats a number in scientific notation like the paper's axes.
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{x:.1e}")
+    }
+}
+
+/// CSV export of experiment results (written under `results/`).
+pub mod csv {
+    use std::io::Write;
+    use std::path::Path;
+
+    /// Writes rows to `results/<name>.csv` with the given header. Errors are
+    /// reported on stderr but never abort an experiment.
+    pub fn write(name: &str, header: &[&str], rows: &[Vec<String>]) {
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("csv: cannot create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("csv: cannot create {path:?}: {e}");
+                return;
+            }
+        };
+        let mut text = header.join(",");
+        text.push('\n');
+        for row in rows {
+            text.push_str(&row.join(","));
+            text.push('\n');
+        }
+        if let Err(e) = out.write_all(text.as_bytes()) {
+            eprintln!("csv: write to {path:?} failed: {e}");
+        } else {
+            eprintln!("csv: wrote {path:?} ({} rows)", rows.len());
+        }
+    }
+}
+
+/// Prints a standard header for a bench target.
+pub fn header(fig: &str, what: &str, s: Scale) {
+    println!("==============================================================");
+    println!("{fig}: {what}");
+    println!(
+        "scale: {:?} (set MSPASTRY_SCALE=full for paper-scale runs)",
+        s
+    );
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // The env var is unset in CI.
+        if std::env::var("MSPASTRY_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Quick);
+        }
+    }
+
+    #[test]
+    fn quick_traces_are_small() {
+        let t = gnutella_trace(Scale::Quick);
+        assert!(t.active_at(2 * HOUR) < 400);
+        assert_eq!(t.duration_us(), 24 * HOUR);
+    }
+
+    #[test]
+    fn sci_formats() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(1.6e-5), "1.6e-5");
+    }
+}

@@ -1,0 +1,152 @@
+//! Session-length distributions.
+//!
+//! The published traces report mean and median session times; a log-normal
+//! matches the heavy-tailed session behaviour observed in peer-to-peer
+//! measurement studies and can be fitted exactly to a (mean, median) pair:
+//! `median = exp(mu)` and `mean = exp(mu + sigma^2/2)`.
+
+use rand::Rng;
+
+/// Distribution of node session lengths (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionDist {
+    /// Log-normal with location `mu` and scale `sigma` of the underlying
+    /// normal (in ln-microseconds).
+    LogNormal {
+        /// Location parameter of the underlying normal.
+        mu: f64,
+        /// Scale parameter of the underlying normal.
+        sigma: f64,
+    },
+    /// Exponential with the given mean (microseconds).
+    Exponential {
+        /// Mean session length, microseconds.
+        mean_us: f64,
+    },
+}
+
+impl SessionDist {
+    /// Fits a log-normal to a target mean and median session length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_us > median_us > 0` (a log-normal always has
+    /// mean > median).
+    pub fn log_normal_from_mean_median(mean_us: f64, median_us: f64) -> Self {
+        assert!(
+            mean_us > median_us && median_us > 0.0,
+            "log-normal requires mean > median > 0 (got mean {mean_us}, median {median_us})"
+        );
+        let mu = median_us.ln();
+        let sigma = (2.0 * (mean_us / median_us).ln()).sqrt();
+        SessionDist::LogNormal { mu, sigma }
+    }
+
+    /// Exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_us` is not positive.
+    pub fn exponential(mean_us: f64) -> Self {
+        assert!(mean_us > 0.0, "mean must be positive");
+        SessionDist::Exponential { mean_us }
+    }
+
+    /// The distribution's mean session length, microseconds.
+    pub fn mean_us(&self) -> f64 {
+        match *self {
+            SessionDist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            SessionDist::Exponential { mean_us } => mean_us,
+        }
+    }
+
+    /// The distribution's median session length, microseconds.
+    pub fn median_us(&self) -> f64 {
+        match *self {
+            SessionDist::LogNormal { mu, .. } => mu.exp(),
+            SessionDist::Exponential { mean_us } => mean_us * std::f64::consts::LN_2,
+        }
+    }
+
+    /// Draws one session length, microseconds (at least 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let v = match *self {
+            SessionDist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            SessionDist::Exponential { mean_us } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean_us * u.ln()
+            }
+        };
+        v.max(1.0).min(u64::MAX as f64) as u64
+    }
+}
+
+/// Standard normal variate via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_fit_recovers_mean_and_median() {
+        let d = SessionDist::log_normal_from_mean_median(8_280e6, 3_600e6);
+        assert!((d.mean_us() - 8_280e6).abs() / 8_280e6 < 1e-12);
+        assert!((d.median_us() - 3_600e6).abs() / 3_600e6 < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_sample_statistics_match() {
+        let d = SessionDist::log_normal_from_mean_median(8_280e6, 3_600e6);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[n / 2] as f64;
+        assert!((mean / 8_280e6 - 1.0).abs() < 0.05, "sample mean {mean}");
+        assert!((median / 3_600e6 - 1.0).abs() < 0.05, "sample median {median}");
+    }
+
+    #[test]
+    fn exponential_sample_mean_matches() {
+        let d = SessionDist::exponential(1_000_000.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean / 1_000_000.0 - 1.0).abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn lognormal_rejects_mean_below_median() {
+        SessionDist::log_normal_from_mean_median(1.0, 2.0);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let d = SessionDist::exponential(10.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 1);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Churn traces for the MSPastry evaluation.
+//!
+//! The paper drives its fault injection with real traces of node arrivals and
+//! departures from three measurement studies (Gnutella, OverNet, and the
+//! Microsoft corporate network) plus artificial Poisson traces. The real
+//! trace files are not public, so this crate generates synthetic traces that
+//! match the published summary statistics and diurnal/weekly shape (see
+//! DESIGN.md, substitution #1). Traces are deterministic for a given seed and
+//! round-trip through a small CSV format.
+//!
+//! # Example
+//!
+//! ```
+//! use churn::gnutella::{self, GnutellaParams};
+//!
+//! let trace = gnutella::trace(&GnutellaParams::quick());
+//! assert!(trace.active_at(trace.duration_us() / 2) > 50);
+//! let events = trace.events(); // (time, Join/Fail) pairs for the simulator
+//! assert!(!events.is_empty());
+//! ```
+
+pub mod dist;
+pub mod gnutella;
+pub mod microsoft;
+pub mod overnet;
+pub mod poisson;
+pub mod synth;
+pub mod trace;
+
+pub use dist::SessionDist;
+pub use synth::{PopulationProfile, SynthParams};
+pub use trace::{ParseTraceError, Session, Trace, TraceEvent};

@@ -1,0 +1,257 @@
+//! Population-driven synthetic trace generator.
+//!
+//! The generator maintains a target active-population profile (base level
+//! modulated by daily and weekly waves, as visible in the paper's Figure 3)
+//! and issues Poisson arrivals whose rate is the steady-state replacement
+//! rate `target(t)/mean_session` plus a gentle feedback term that pulls the
+//! actual population back towards the target. Session lengths come from a
+//! [`SessionDist`]. All randomness is seeded, so traces are reproducible.
+
+use crate::dist::SessionDist;
+use crate::trace::{Session, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seconds per day / week, in microseconds.
+pub const DAY_US: u64 = 24 * 3600 * 1_000_000;
+/// One week, in microseconds.
+pub const WEEK_US: u64 = 7 * DAY_US;
+
+/// A smoothly varying target population profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationProfile {
+    /// Mean active population.
+    pub base: f64,
+    /// Relative amplitude of the daily wave (0 = none, 0.3 = ±30 %).
+    pub daily_amplitude: f64,
+    /// Relative amplitude of the weekly wave.
+    pub weekly_amplitude: f64,
+    /// Phase offset of the daily wave, fraction of a day in `[0, 1)`.
+    pub phase: f64,
+}
+
+impl PopulationProfile {
+    /// Constant population of `base` nodes.
+    pub fn flat(base: f64) -> Self {
+        PopulationProfile {
+            base,
+            daily_amplitude: 0.0,
+            weekly_amplitude: 0.0,
+            phase: 0.0,
+        }
+    }
+
+    /// Target population at time `t_us`.
+    pub fn target_at(&self, t_us: u64) -> f64 {
+        use std::f64::consts::TAU;
+        let day = t_us as f64 / DAY_US as f64;
+        let week = t_us as f64 / WEEK_US as f64;
+        let daily = 1.0 + self.daily_amplitude * (TAU * (day + self.phase)).sin();
+        let weekly = 1.0 + self.weekly_amplitude * (TAU * week).sin();
+        (self.base * daily * weekly).max(0.0)
+    }
+}
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthParams {
+    /// Trace horizon, microseconds.
+    pub duration_us: u64,
+    /// Target active population over time.
+    pub population: PopulationProfile,
+    /// Session-length distribution.
+    pub sessions: SessionDist,
+    /// Relative amplitude of the *churn-intensity* daily wave. Churn in open
+    /// systems peaks even when the population is steady; this modulates the
+    /// replacement rate without changing the population level.
+    pub churn_daily_amplitude: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a churn trace matching the requested population and session
+/// statistics.
+///
+/// The returned trace includes the initial population (sessions with
+/// `arrive_us == 0`) so an experiment can bootstrap the overlay before churn
+/// starts.
+pub fn generate(name: &str, p: &SynthParams) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut sessions: Vec<Session> = Vec::new();
+    // Departure times of currently alive sessions, as a simple counter per
+    // step: we only need the active count, so keep a min-heap of departures.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut departures: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+
+    // Initial population with equilibrium residual lifetimes: sample a
+    // length-biased session and keep a uniform residual. Length-biasing is
+    // approximated by sampling two sessions and keeping the longer, which is
+    // close enough for a warm start (the overlay warms up anyway).
+    let initial = p.population.target_at(0).round() as usize;
+    for _ in 0..initial {
+        let l = p.sessions.sample(&mut rng).max(p.sessions.sample(&mut rng));
+        let residual = rng.gen_range(1..=l.max(1));
+        let depart = residual;
+        sessions.push(Session {
+            arrive_us: 0,
+            depart_us: depart,
+        });
+        departures.push(Reverse(depart));
+    }
+
+    // Walk time in steps, issuing Poisson arrivals.
+    let step_us: u64 = 30_000_000; // 30 s
+    let mean_session = p.sessions.mean_us();
+    let mut t = 0u64;
+    let mut alive = initial as f64;
+    while t < p.duration_us {
+        // Active count at t.
+        while let Some(Reverse(d)) = departures.peek() {
+            if *d <= t {
+                departures.pop();
+                alive -= 1.0;
+            } else {
+                break;
+            }
+        }
+        let target = p.population.target_at(t);
+        use std::f64::consts::TAU;
+        let day = t as f64 / DAY_US as f64;
+        let churn_mod = 1.0 + p.churn_daily_amplitude * (TAU * day).sin();
+        // Steady-state replacement plus feedback with a 10 minute horizon.
+        let replacement = target * churn_mod.max(0.05) / mean_session;
+        let feedback = ((target - alive) / 600e6).max(0.0);
+        let rate_per_us = replacement + feedback;
+        let expected = rate_per_us * step_us as f64;
+        let arrivals = poisson(&mut rng, expected);
+        for _ in 0..arrivals {
+            let at = t + rng.gen_range(0..step_us);
+            let len = p.sessions.sample(&mut rng);
+            let depart = at.saturating_add(len);
+            sessions.push(Session {
+                arrive_us: at,
+                depart_us: depart,
+            });
+            departures.push(Reverse(depart));
+            alive += 1.0;
+        }
+        t += step_us;
+    }
+
+    Trace::new(name, p.duration_us, sessions)
+}
+
+/// Draws a Poisson variate with the given mean (Knuth for small means, normal
+/// approximation for large ones).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        let z = crate::dist::standard_normal(rng);
+        return (mean + mean.sqrt() * z).round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut prod = 1.0;
+    loop {
+        prod *= rng.gen_range(0.0..1.0f64);
+        if prod <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_profile_is_constant() {
+        let p = PopulationProfile::flat(100.0);
+        assert_eq!(p.target_at(0), 100.0);
+        assert_eq!(p.target_at(DAY_US / 3), 100.0);
+    }
+
+    #[test]
+    fn daily_wave_oscillates() {
+        let p = PopulationProfile {
+            base: 100.0,
+            daily_amplitude: 0.3,
+            weekly_amplitude: 0.0,
+            phase: 0.0,
+        };
+        let quarter = p.target_at(DAY_US / 4);
+        let three_quarter = p.target_at(3 * DAY_US / 4);
+        assert!((quarter - 130.0).abs() < 1.0);
+        assert!((three_quarter - 70.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 20_000;
+        for mean in [0.5, 3.0, 80.0] {
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let got = total as f64 / n as f64;
+            assert!((got / mean - 1.0).abs() < 0.1, "mean {mean} got {got}");
+        }
+    }
+
+    #[test]
+    fn generated_population_tracks_target() {
+        let params = SynthParams {
+            duration_us: 4 * 3600 * 1_000_000,
+            population: PopulationProfile::flat(200.0),
+            sessions: SessionDist::exponential(1800e6),
+            churn_daily_amplitude: 0.0,
+            seed: 9,
+        };
+        let t = generate("flat", &params);
+        for hour in 1..4u64 {
+            let active = t.active_at(hour * 3600 * 1_000_000) as f64;
+            assert!(
+                (active / 200.0 - 1.0).abs() < 0.25,
+                "active {active} at hour {hour}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_session_mean_matches_distribution() {
+        let params = SynthParams {
+            duration_us: 8 * 3600 * 1_000_000,
+            population: PopulationProfile::flat(500.0),
+            sessions: SessionDist::exponential(1800e6),
+            churn_daily_amplitude: 0.0,
+            seed: 10,
+        };
+        let t = generate("flat", &params);
+        // Skip the length-biased initial sessions.
+        let later: Vec<f64> = t
+            .sessions()
+            .iter()
+            .filter(|s| s.arrive_us > 0)
+            .map(|s| s.length_us() as f64)
+            .collect();
+        assert!(later.len() > 1000);
+        let mean = later.iter().sum::<f64>() / later.len() as f64;
+        assert!((mean / 1800e6 - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let params = SynthParams {
+            duration_us: 3600 * 1_000_000,
+            population: PopulationProfile::flat(50.0),
+            sessions: SessionDist::exponential(600e6),
+            churn_daily_amplitude: 0.2,
+            seed: 11,
+        };
+        assert_eq!(generate("a", &params).sessions(), generate("a", &params).sessions());
+    }
+}

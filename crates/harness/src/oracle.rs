@@ -1,0 +1,140 @@
+//! Global membership oracle for consistency checking.
+//!
+//! The oracle tracks the set of *active* overlay nodes (alive and past their
+//! join) and answers "who is the true root of this key right now?". A lookup
+//! delivery is *correct* iff the delivering node is the oracle root at the
+//! instant of delivery (§5.2's incorrect-delivery metric).
+
+use mspastry::{Id, Key, NodeId};
+use std::collections::BTreeSet;
+
+/// The set of currently active node identifiers.
+#[derive(Debug, Default, Clone)]
+pub struct Oracle {
+    ids: BTreeSet<u128>,
+}
+
+impl Oracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a node active.
+    pub fn insert(&mut self, id: NodeId) {
+        self.ids.insert(id.0);
+    }
+
+    /// Marks a node inactive (failed or departed).
+    pub fn remove(&mut self, id: NodeId) {
+        self.ids.remove(&id.0);
+    }
+
+    /// `true` if the node is currently active.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.ids.contains(&id.0)
+    }
+
+    /// Number of active nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no nodes are active.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The key's current root: the active node whose identifier is
+    /// numerically closest to the key modulo 2^128 (ties towards the smaller
+    /// identifier, matching the protocol's tie-break).
+    pub fn root_of(&self, key: Key) -> Option<NodeId> {
+        if self.ids.is_empty() {
+            return None;
+        }
+        // Successor (clockwise) candidate: the first id >= key, wrapping.
+        let succ = self
+            .ids
+            .range(key.0..)
+            .next()
+            .or_else(|| self.ids.iter().next())
+            .copied()
+            .unwrap();
+        // Predecessor (counter-clockwise) candidate: the last id <= key,
+        // wrapping.
+        let pred = self
+            .ids
+            .range(..=key.0)
+            .next_back()
+            .or_else(|| self.ids.iter().next_back())
+            .copied()
+            .unwrap();
+        Some(mspastry::id::closer_to(key, Id(pred), Id(succ)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_oracle_has_no_root() {
+        assert_eq!(Oracle::new().root_of(Id(5)), None);
+    }
+
+    #[test]
+    fn root_is_numerically_closest() {
+        let mut o = Oracle::new();
+        o.insert(Id(100));
+        o.insert(Id(200));
+        o.insert(Id(1000));
+        assert_eq!(o.root_of(Id(140)), Some(Id(100)));
+        assert_eq!(o.root_of(Id(160)), Some(Id(200)));
+        assert_eq!(o.root_of(Id(601)), Some(Id(1000)));
+        assert_eq!(o.root_of(Id(200)), Some(Id(200)));
+    }
+
+    #[test]
+    fn root_wraps_around_the_ring() {
+        let mut o = Oracle::new();
+        o.insert(Id(10));
+        o.insert(Id(u128::MAX - 10));
+        // A key just below the wrap point is closest to MAX-10; a key at 0 is
+        // closest to 10? dist(0, 10) = 10, dist(0, MAX-10) = 11 → root 10.
+        assert_eq!(o.root_of(Id(0)), Some(Id(10)));
+        assert_eq!(o.root_of(Id(u128::MAX)), Some(Id(u128::MAX - 10)));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut o = Oracle::new();
+        let ids: Vec<Id> = (0..200).map(|_| Id::random(&mut rng)).collect();
+        for &id in &ids {
+            o.insert(id);
+        }
+        for _ in 0..500 {
+            let key = Id::random(&mut rng);
+            let brute = ids
+                .iter()
+                .copied()
+                .reduce(|a, b| mspastry::id::closer_to(key, a, b))
+                .unwrap();
+            assert_eq!(o.root_of(key), Some(brute));
+        }
+    }
+
+    #[test]
+    fn removal_changes_the_root() {
+        let mut o = Oracle::new();
+        o.insert(Id(100));
+        o.insert(Id(105));
+        assert_eq!(o.root_of(Id(104)), Some(Id(105)));
+        o.remove(Id(105));
+        assert_eq!(o.root_of(Id(104)), Some(Id(100)));
+        assert!(!o.contains(Id(105)));
+        assert_eq!(o.len(), 1);
+    }
+}

@@ -1,0 +1,738 @@
+//! The experiment runner: drives MSPastry nodes through the packet-level
+//! simulator with trace-based fault injection, a lookup workload, oracle
+//! consistency checking, and metric collection — the platform described in
+//! §5.1 of the paper.
+
+use crate::metrics::{Metrics, Report};
+use crate::oracle::Oracle;
+use churn::{Trace, TraceEvent};
+use mspastry::{Action, Config, Effects, Event, Id, Key, Message, Node, NodeId, Payload, TimerKind};
+use netsim::{EndpointId, EventQueue, Network};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use topology::{Topology, TopologyKind};
+
+/// The lookup workload applied to the overlay.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// No application traffic.
+    None,
+    /// Every active node issues lookups as a Poisson process with uniformly
+    /// random destination keys (the paper's base workload uses 0.01
+    /// lookups/s/node).
+    Poisson {
+        /// Lookup rate per node, per second.
+        rate_per_node_per_sec: f64,
+    },
+    /// An explicit request script (used by the Squirrel validation
+    /// experiment). Times are trace-relative; requests from sessions that are
+    /// not active at fire time are skipped.
+    Scripted(Vec<ScriptedLookup>),
+}
+
+/// One scripted application request.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptedLookup {
+    /// Trace-relative issue time, microseconds.
+    pub at_us: u64,
+    /// Issuing session index (into the trace's session list).
+    pub session: usize,
+    /// Destination key.
+    pub key: Key,
+    /// Opaque payload (correlates deliveries for the application).
+    pub payload: Payload,
+}
+
+/// A recorded application-level delivery (optional, for application
+/// post-processing such as Squirrel's cache statistics).
+#[derive(Debug, Clone)]
+pub struct DeliveryRecord {
+    /// Simulation time of delivery (warmup included), microseconds.
+    pub at_us: u64,
+    /// The delivering session.
+    pub session: usize,
+    /// The destination key.
+    pub key: Key,
+    /// The lookup payload.
+    pub payload: Payload,
+    /// Whether the deliverer was the key's true root.
+    pub correct: bool,
+    /// When the lookup was issued, microseconds.
+    pub issued_at_us: u64,
+    /// Overlay hops the lookup took.
+    pub hops: u32,
+    /// Sessions of the deliverer's closest leaf-set members (ring-distance
+    /// order): the candidate replica holders for storage applications.
+    pub replica_sessions: Vec<usize>,
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Protocol parameters.
+    pub protocol: Config,
+    /// Network topology.
+    pub topology: TopologyKind,
+    /// Churn trace (fault injection schedule).
+    pub trace: Trace,
+    /// Application workload.
+    pub workload: Workload,
+    /// Uniform network message loss probability.
+    pub network_loss_rate: f64,
+    /// Overlay build-up period before measurements start; initial sessions
+    /// join staggered across it.
+    pub warmup_us: u64,
+    /// Metrics window (the paper uses 10 min for Gnutella/OverNet, 1 h for
+    /// Microsoft).
+    pub metrics_window_us: u64,
+    /// A lookup not delivered within this time counts as lost.
+    pub lookup_timeout_us: u64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Record every application delivery in the result.
+    pub record_deliveries: bool,
+    /// Fraction of departures that announce themselves (`Event::Leave`)
+    /// before dying, instead of crashing silently. 0.0 reproduces the paper
+    /// (all departures look like failures); higher values exercise the
+    /// graceful-leave extension.
+    pub graceful_leave_fraction: f64,
+    /// Total network outages, as trace-relative `(start_us, end_us)` windows
+    /// during which every message is lost.
+    pub outages: Vec<(u64, u64)>,
+}
+
+impl RunConfig {
+    /// Sensible defaults around a trace: base protocol configuration, small
+    /// GATech topology, 0.01 lookups/s/node, no loss, 15 min warmup.
+    pub fn new(trace: Trace) -> Self {
+        RunConfig {
+            protocol: Config::default(),
+            topology: TopologyKind::GaTechSmall,
+            trace,
+            workload: Workload::Poisson {
+                rate_per_node_per_sec: 0.01,
+            },
+            network_loss_rate: 0.0,
+            warmup_us: 15 * 60 * 1_000_000,
+            metrics_window_us: 10 * 60 * 1_000_000,
+            lookup_timeout_us: 60 * 1_000_000,
+            seed: 1,
+            record_deliveries: false,
+            graceful_leave_fraction: 0.0,
+            outages: Vec::new(),
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// All §5.2 metrics.
+    pub report: Report,
+    /// Trace name.
+    pub trace_name: String,
+    /// Topology name.
+    pub topology_name: &'static str,
+    /// Active overlay nodes when the run ended.
+    pub final_active: usize,
+    /// Mean self-tuned routing-table probing period across nodes at the end,
+    /// microseconds.
+    pub mean_t_rt_us: f64,
+    /// Total simulator events processed.
+    pub sim_events: u64,
+    /// Scripted lookups skipped because their session was not active.
+    pub skipped_scripted: u64,
+    /// Active nodes whose immediate leaf-set neighbours disagree with the
+    /// true ring at the end of the run (0 = perfectly converged ring).
+    pub ring_defects: u64,
+    /// Application deliveries (only if `record_deliveries`).
+    pub deliveries: Vec<DeliveryRecord>,
+    /// `(session, activation time)` pairs, in activation order.
+    pub activations: Vec<(usize, u64)>,
+    /// Fraction of routing-table entries with no measured distance at the
+    /// end of the run (PNS health diagnostic).
+    pub rt_unknown_fraction: f64,
+    /// Mean measured routing-table entry distance at the end, microseconds.
+    pub rt_mean_distance_us: f64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Msg {
+        from: NodeId,
+        to: EndpointId,
+        msg: Message,
+    },
+    Timer {
+        node: EndpointId,
+        kind: TimerKind,
+    },
+    Join(usize),
+    Fail(usize),
+    NextLookup {
+        node: EndpointId,
+    },
+    Scripted(usize),
+    Outage(bool),
+    End,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SessionState {
+    Pending,
+    Alive,
+    Dead,
+}
+
+/// Runs one experiment to completion.
+pub fn run(cfg: RunConfig) -> RunResult {
+    Runner::new(cfg).run()
+}
+
+struct Runner {
+    cfg: RunConfig,
+    net: Network,
+    queue: EventQueue<Ev>,
+    metrics: Metrics,
+    oracle: Oracle,
+    rng: SmallRng,
+    nodes: Vec<Option<Node>>,
+    node_ids: Vec<NodeId>,
+    ep_of_id: HashMap<u128, EndpointId>,
+    ep_of_session: Vec<Option<EndpointId>>,
+    session_of_ep: Vec<usize>,
+    session_state: Vec<SessionState>,
+    active_list: Vec<EndpointId>,
+    active_pos: HashMap<EndpointId, usize>,
+    join_started: HashMap<EndpointId, u64>,
+    src_ep: HashMap<mspastry::LookupId, EndpointId>,
+    scripted: Vec<ScriptedLookup>,
+    skipped_scripted: u64,
+    deliveries: Vec<DeliveryRecord>,
+    activations: Vec<(usize, u64)>,
+    end_us: u64,
+    sim_events: u64,
+}
+
+impl Runner {
+    fn new(cfg: RunConfig) -> Self {
+        let topo = Topology::build(cfg.topology.clone());
+        let mut net = Network::new(topo, cfg.seed ^ 0x6e65_7477);
+        net.set_loss_rate(cfg.network_loss_rate);
+        let metrics = Metrics::new(cfg.warmup_us, cfg.metrics_window_us, cfg.lookup_timeout_us);
+        let end_us = cfg.warmup_us + cfg.trace.duration_us();
+        let n_sessions = cfg.trace.sessions().len();
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let scripted = match &cfg.workload {
+            Workload::Scripted(s) => {
+                let mut s = s.clone();
+                s.sort_by_key(|e| e.at_us);
+                s
+            }
+            _ => Vec::new(),
+        };
+        Runner {
+            net,
+            queue: EventQueue::new(),
+            metrics,
+            oracle: Oracle::new(),
+            rng,
+            nodes: Vec::new(),
+            node_ids: Vec::new(),
+            ep_of_id: HashMap::new(),
+            ep_of_session: vec![None; n_sessions],
+            session_of_ep: Vec::new(),
+            session_state: vec![SessionState::Pending; n_sessions],
+            active_list: Vec::new(),
+            active_pos: HashMap::new(),
+            join_started: HashMap::new(),
+            src_ep: HashMap::new(),
+            scripted,
+            skipped_scripted: 0,
+            deliveries: Vec::new(),
+            activations: Vec::new(),
+            end_us,
+            sim_events: 0,
+            cfg,
+        }
+    }
+
+    fn schedule_trace(&mut self) {
+        // Initial sessions (arrival 0) join staggered across the first 80 %
+        // of the warmup so the overlay forms incrementally.
+        let initial: Vec<usize> = self
+            .cfg
+            .trace
+            .sessions()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.arrive_us == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let spread = self.cfg.warmup_us * 4 / 5;
+        let k = initial.len().max(1) as u64;
+        for (n, &i) in initial.iter().enumerate() {
+            self.queue
+                .schedule_at(n as u64 * spread / k, Ev::Join(i));
+        }
+        for (t, ev) in self.cfg.trace.events() {
+            match ev {
+                TraceEvent::Join(i) => {
+                    if self.cfg.trace.sessions()[i].arrive_us > 0 {
+                        self.queue.schedule_at(t + self.cfg.warmup_us, Ev::Join(i));
+                    }
+                }
+                TraceEvent::Fail(i) => {
+                    self.queue.schedule_at(t + self.cfg.warmup_us, Ev::Fail(i));
+                }
+            }
+        }
+        for (i, s) in self.scripted.iter().enumerate() {
+            self.queue
+                .schedule_at(s.at_us + self.cfg.warmup_us, Ev::Scripted(i));
+        }
+        for &(start, end) in &self.cfg.outages.clone() {
+            assert!(start < end, "outage must start before it ends");
+            self.queue
+                .schedule_at(start + self.cfg.warmup_us, Ev::Outage(true));
+            self.queue
+                .schedule_at(end + self.cfg.warmup_us, Ev::Outage(false));
+        }
+        self.queue.schedule_at(self.end_us, Ev::End);
+    }
+
+    fn run(mut self) -> RunResult {
+        self.schedule_trace();
+        while let Some(ev) = self.queue.pop() {
+            self.sim_events += 1;
+            let now = ev.at_us;
+            match ev.payload {
+                Ev::End => break,
+                Ev::Join(i) => self.on_trace_join(now, i),
+                Ev::Fail(i) => self.on_trace_fail(now, i),
+                Ev::Msg { from, to, msg } => {
+                    self.dispatch(now, to, Event::Receive { from, msg });
+                }
+                Ev::Timer { node, kind } => {
+                    self.dispatch(now, node, Event::Timer(kind));
+                }
+                Ev::NextLookup { node } => self.on_next_lookup(now, node),
+                Ev::Scripted(i) => self.on_scripted(now, i),
+                Ev::Outage(on) => self.net.set_blackout(on),
+            }
+        }
+        let final_active = self.active_list.len();
+        let mut trt_sum = 0.0;
+        let mut trt_n = 0u64;
+        for n in self.nodes.iter().flatten() {
+            if n.is_active() {
+                trt_sum += n.t_rt_us() as f64;
+                trt_n += 1;
+            }
+        }
+        let ring_defects = self.count_ring_defects();
+        let mut rt_total = 0u64;
+        let mut rt_unknown = 0u64;
+        let mut rt_dist_sum = 0.0f64;
+        for n in self.nodes.iter().flatten() {
+            for e in n.routing_table().entries() {
+                rt_total += 1;
+                if e.distance_us == mspastry::routing_table::DIST_UNKNOWN {
+                    rt_unknown += 1;
+                } else {
+                    rt_dist_sum += e.distance_us as f64;
+                }
+            }
+        }
+        let report = self.metrics.finalize(self.end_us);
+        RunResult {
+            report,
+            trace_name: self.cfg.trace.name().to_string(),
+            topology_name: self.net.topology().name(),
+            final_active,
+            mean_t_rt_us: if trt_n > 0 { trt_sum / trt_n as f64 } else { 0.0 },
+            sim_events: self.sim_events,
+            skipped_scripted: self.skipped_scripted,
+            ring_defects,
+            deliveries: self.deliveries,
+            activations: self.activations,
+            rt_unknown_fraction: if rt_total > 0 {
+                rt_unknown as f64 / rt_total as f64
+            } else {
+                0.0
+            },
+            rt_mean_distance_us: if rt_total > rt_unknown {
+                rt_dist_sum / (rt_total - rt_unknown) as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Compares every active node's immediate leaf-set neighbours with the
+    /// true ring (sorted active identifiers).
+    fn count_ring_defects(&self) -> u64 {
+        let mut ids: Vec<NodeId> = self
+            .active_list
+            .iter()
+            .map(|&e| self.node_ids[e])
+            .collect();
+        if ids.len() < 2 {
+            return 0;
+        }
+        ids.sort();
+        let pos = |id: NodeId| ids.binary_search(&id).expect("active id in ring");
+        let mut defects = 0u64;
+        for &e in &self.active_list {
+            let Some(node) = self.nodes[e].as_ref() else {
+                continue;
+            };
+            let id = self.node_ids[e];
+            let p = pos(id);
+            let true_right = ids[(p + 1) % ids.len()];
+            let true_left = ids[(p + ids.len() - 1) % ids.len()];
+            let ls = node.leaf_set();
+            if ls.right_neighbor() != Some(true_right) || ls.left_neighbor() != Some(true_left) {
+                defects += 1;
+            }
+        }
+        defects
+    }
+
+    fn on_trace_join(&mut self, now: u64, session: usize) {
+        if self.session_state[session] != SessionState::Pending {
+            return; // failed before it could join
+        }
+        self.session_state[session] = SessionState::Alive;
+        let ep = self.net.add_endpoint();
+        let id = Id::random(&mut self.rng);
+        debug_assert_eq!(ep, self.nodes.len());
+        self.nodes.push(Some(Node::new(id, self.cfg.protocol.clone())));
+        self.node_ids.push(id);
+        self.session_of_ep.push(session);
+        self.ep_of_id.insert(id.0, ep);
+        self.ep_of_session[session] = Some(ep);
+        self.join_started.insert(ep, now);
+        let seed = self.pick_seed(ep);
+        self.dispatch(now, ep, Event::Join { seed });
+    }
+
+    /// A random active node, or any alive node if none is active yet, or
+    /// `None` for the very first node.
+    fn pick_seed(&mut self, joiner: EndpointId) -> Option<NodeId> {
+        if !self.active_list.is_empty() {
+            let ep = self.active_list[self.rng.gen_range(0..self.active_list.len())];
+            return Some(self.node_ids[ep]);
+        }
+        let alive: Vec<EndpointId> = (0..self.nodes.len())
+            .filter(|&e| e != joiner && self.nodes[e].is_some())
+            .collect();
+        if alive.is_empty() {
+            None
+        } else {
+            Some(self.node_ids[alive[self.rng.gen_range(0..alive.len())]])
+        }
+    }
+
+    fn on_trace_fail(&mut self, now: u64, session: usize) {
+        match self.session_state[session] {
+            SessionState::Pending => {
+                self.session_state[session] = SessionState::Dead;
+            }
+            SessionState::Dead => {}
+            SessionState::Alive => {
+                self.session_state[session] = SessionState::Dead;
+                let ep = self.ep_of_session[session].expect("alive session has endpoint");
+                let was_active = self.nodes[ep].as_ref().is_some_and(|n| n.is_active());
+                if was_active
+                    && self.cfg.graceful_leave_fraction > 0.0
+                    && self.rng.gen_bool(self.cfg.graceful_leave_fraction)
+                {
+                    // The node says goodbye before the plug is pulled.
+                    self.dispatch(now, ep, Event::Leave);
+                }
+                self.nodes[ep] = None;
+                if was_active {
+                    self.oracle.remove(self.node_ids[ep]);
+                    self.metrics.set_active_delta(now, -1);
+                    self.remove_active(ep);
+                }
+            }
+        }
+    }
+
+    fn remove_active(&mut self, ep: EndpointId) {
+        if let Some(pos) = self.active_pos.remove(&ep) {
+            let last = self.active_list.pop().unwrap();
+            if last != ep {
+                self.active_list[pos] = last;
+                self.active_pos.insert(last, pos);
+            }
+        }
+    }
+
+    fn on_next_lookup(&mut self, now: u64, ep: EndpointId) {
+        let Workload::Poisson {
+            rate_per_node_per_sec,
+        } = self.cfg.workload
+        else {
+            return;
+        };
+        let Some(node) = &self.nodes[ep] else {
+            return;
+        };
+        if !node.is_active() {
+            return;
+        }
+        let key = Id::random(&mut self.rng);
+        self.dispatch(now, ep, Event::Lookup { key, payload: 0 });
+        let delay = exp_interval_us(&mut self.rng, rate_per_node_per_sec);
+        self.queue.schedule_in(delay, Ev::NextLookup { node: ep });
+    }
+
+    fn on_scripted(&mut self, now: u64, idx: usize) {
+        let s = self.scripted[idx];
+        let Some(ep) = self.ep_of_session[s.session] else {
+            self.skipped_scripted += 1;
+            return;
+        };
+        let usable = self.nodes[ep].as_ref().is_some_and(|n| n.is_active());
+        if !usable {
+            self.skipped_scripted += 1;
+            return;
+        }
+        self.dispatch(
+            now,
+            ep,
+            Event::Lookup {
+                key: s.key,
+                payload: s.payload,
+            },
+        );
+    }
+
+    fn dispatch(&mut self, now: u64, ep: EndpointId, event: Event) {
+        let Some(node) = self.nodes[ep].as_mut() else {
+            return;
+        };
+        let mut fx = Effects::new();
+        node.handle(now, event, &mut fx);
+        let actions = fx.drain();
+        self.apply(now, ep, actions);
+    }
+
+    fn apply(&mut self, now: u64, ep: EndpointId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.apply_send(now, ep, to, msg),
+                Action::SetTimer { delay_us, kind } => {
+                    self.queue
+                        .schedule_in(delay_us, Ev::Timer { node: ep, kind });
+                }
+                Action::Deliver {
+                    id,
+                    key,
+                    payload,
+                    hops,
+                    issued_at_us,
+                    replica_set,
+                } => {
+                    let deliverer = self.node_ids[ep];
+                    let correct = self.oracle.root_of(key) == Some(deliverer);
+                    let direct = match self.src_ep.get(&id) {
+                        Some(&src) if src != ep => self.net.base_delay_us(src, ep),
+                        _ => 0,
+                    };
+                    self.metrics.sight_lookup(id, issued_at_us);
+                    self.metrics
+                        .on_delivered(now, id, issued_at_us, correct, hops, direct);
+                    if self.cfg.record_deliveries {
+                        let replica_sessions = replica_set
+                            .iter()
+                            .filter_map(|id| self.ep_of_id.get(&id.0))
+                            .map(|&e| self.session_of_ep[e])
+                            .collect();
+                        self.deliveries.push(DeliveryRecord {
+                            at_us: now,
+                            session: self.session_of_ep[ep],
+                            key,
+                            payload,
+                            correct,
+                            issued_at_us,
+                            hops,
+                            replica_sessions,
+                        });
+                    }
+                }
+                Action::BecameActive => {
+                    let id = self.node_ids[ep];
+                    if !self.oracle.contains(id) {
+                        self.oracle.insert(id);
+                        self.metrics.set_active_delta(now, 1);
+                        self.active_pos.insert(ep, self.active_list.len());
+                        self.active_list.push(ep);
+                        self.activations.push((self.session_of_ep[ep], now));
+                        if let Some(start) = self.join_started.remove(&ep) {
+                            if now >= self.cfg.warmup_us {
+                                self.metrics.on_join_latency(now - start);
+                            }
+                        }
+                        if let Workload::Poisson {
+                            rate_per_node_per_sec,
+                        } = self.cfg.workload
+                        {
+                            let first = now
+                                .max(self.cfg.warmup_us)
+                                .saturating_add(exp_interval_us(&mut self.rng, rate_per_node_per_sec));
+                            self.queue
+                                .schedule_at(first, Ev::NextLookup { node: ep });
+                        }
+                    }
+                }
+                Action::LookupDropped { reason, .. } => {
+                    if std::env::var("MSPASTRY_DEBUG_DROPS").is_ok() {
+                        eprintln!("drop at t={now} reason={reason:?}");
+                    }
+                    self.metrics.on_drop_report()
+                }
+            }
+        }
+    }
+
+    fn apply_send(&mut self, now: u64, ep: EndpointId, to: NodeId, msg: Message) {
+        self.metrics
+            .on_send(now, msg.category(), mspastry::codec::encoded_len(&msg));
+        self.metrics.on_send_kind(now, msg.kind_name());
+        if let Message::Lookup {
+            id, issued_at_us, ..
+        } = &msg
+        {
+            self.metrics.sight_lookup(*id, *issued_at_us);
+            if let Some(&src) = self.ep_of_id.get(&id.src.0) {
+                self.src_ep.entry(*id).or_insert(src);
+            }
+        }
+        let Some(&dst) = self.ep_of_id.get(&to.0) else {
+            return; // message to a node that never existed (cannot happen)
+        };
+        // Messages to dead endpoints are transmitted and silently vanish
+        // (crash-failure model).
+        if let Some(delay) = self.net.sample_delivery(ep, dst) {
+            let from = self.node_ids[ep];
+            self.queue
+                .schedule_in(delay, Ev::Msg { from, to: dst, msg });
+        }
+    }
+}
+
+/// Exponential inter-arrival sample for a Poisson process, microseconds.
+fn exp_interval_us<R: Rng + ?Sized>(rng: &mut R, rate_per_sec: f64) -> u64 {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    ((-u.ln() / rate_per_sec) * 1e6) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churn::Session;
+
+    fn static_trace(n: usize, duration_us: u64) -> Trace {
+        let sessions = (0..n)
+            .map(|_| Session {
+                arrive_us: 0,
+                depart_us: duration_us * 10,
+            })
+            .collect();
+        Trace::new("static", duration_us, sessions)
+    }
+
+    fn quick_config(trace: Trace) -> RunConfig {
+        RunConfig {
+            topology: TopologyKind::GaTechTiny,
+            warmup_us: 5 * 60 * 1_000_000,
+            metrics_window_us: 60 * 1_000_000,
+            ..RunConfig::new(trace)
+        }
+    }
+
+    #[test]
+    fn static_overlay_delivers_everything_correctly() {
+        let cfg = quick_config(static_trace(30, 20 * 60 * 1_000_000));
+        let res = run(cfg);
+        assert_eq!(res.final_active, 30, "all nodes active");
+        let r = &res.report;
+        assert!(r.issued > 100, "issued {}", r.issued);
+        assert_eq!(r.incorrect, 0, "no incorrect deliveries without churn");
+        assert_eq!(r.lost, 0, "no losses without churn or network loss");
+        // Routes are single-hop here, so RDP ≈ 1; delivery jitter (±5 %) can
+        // push the mean marginally below 1.
+        assert!(r.mean_rdp > 0.9, "rdp {}", r.mean_rdp);
+        // 30 nodes fit inside one leaf set: single-hop routes, and ~1/30 of
+        // the lookups root at the issuer itself (0 hops).
+        assert!(r.mean_hops > 0.8, "hops {}", r.mean_hops);
+    }
+
+    #[test]
+    fn exp_interval_mean_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean_us: f64 =
+            (0..n).map(|_| exp_interval_us(&mut rng, 0.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean_us / 2e6 - 1.0).abs() < 0.05, "mean {mean_us}");
+    }
+
+    #[test]
+    fn churny_overlay_stays_consistent_without_loss() {
+        // 60 nodes with 10-minute exponential sessions: brutal churn, no
+        // network loss. The paper's headline claim: zero incorrect
+        // deliveries.
+        let trace = churn::poisson::trace(&churn::poisson::PoissonParams {
+            mean_nodes: 60.0,
+            mean_session_us: 10.0 * 60e6,
+            duration_us: 30 * 60 * 1_000_000,
+            seed: 7,
+        });
+        let cfg = quick_config(trace);
+        let res = run(cfg);
+        let r = &res.report;
+        assert!(r.issued > 50, "issued {}", r.issued);
+        assert_eq!(r.incorrect, 0, "incorrect deliveries under pure churn");
+        assert!(
+            r.loss_rate < 0.02,
+            "per-hop acks keep losses tiny, got {}",
+            r.loss_rate
+        );
+        assert!(res.final_active > 20);
+    }
+
+    #[test]
+    fn deliveries_are_recorded_when_requested() {
+        let mut cfg = quick_config(static_trace(10, 10 * 60 * 1_000_000));
+        cfg.record_deliveries = true;
+        let res = run(cfg);
+        assert_eq!(res.deliveries.len() as u64, res.report.delivered);
+        assert!(res.deliveries.iter().all(|d| d.correct));
+    }
+
+    #[test]
+    fn scripted_workload_fires_on_sessions() {
+        let trace = static_trace(10, 10 * 60 * 1_000_000);
+        let script: Vec<ScriptedLookup> = (0..20)
+            .map(|i| ScriptedLookup {
+                at_us: 60_000_000 + i * 1_000_000,
+                session: (i % 10) as usize,
+                key: Id(i as u128 * 1234567),
+                payload: i,
+            })
+            .collect();
+        let mut cfg = quick_config(trace);
+        cfg.workload = Workload::Scripted(script);
+        cfg.record_deliveries = true;
+        let res = run(cfg);
+        assert_eq!(res.skipped_scripted, 0);
+        assert_eq!(res.report.delivered, 20);
+        assert_eq!(res.deliveries.len(), 20);
+    }
+}

@@ -1,0 +1,155 @@
+//! Process-wide diagnostic counters.
+//!
+//! Cheap atomic counters attributing leaf-set probe traffic to its cause.
+//! They aggregate across every node in the process (the simulator runs all
+//! nodes in one process, which is exactly what makes this useful for
+//! profiling protocol overhead). Not part of the protocol; safe to ignore.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a leaf-set probe was started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeCause {
+    /// Join bootstrap: probing every member of the initial leaf set.
+    JoinBootstrap,
+    /// A candidate learned from a peer's leaf set.
+    Candidate,
+    /// Confirming a failure reported in a peer's `failed` set.
+    Confirm,
+    /// Announcing a failure this node detected.
+    Announce,
+    /// Leaf-set repair (short or empty side).
+    Repair,
+    /// Silence from the right neighbour (SUSPECT-FAULTY).
+    Suspect,
+    /// A missed per-hop ack.
+    AckSuspect,
+}
+
+const N: usize = 7;
+static COUNTS: [AtomicU64; N] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Names matching [`snapshot`]'s order.
+pub const PROBE_CAUSE_NAMES: [&str; N] = [
+    "join-bootstrap",
+    "candidate",
+    "confirm",
+    "announce",
+    "repair",
+    "suspect",
+    "ack-suspect",
+];
+
+pub(crate) fn count(cause: ProbeCause) {
+    COUNTS[cause as usize].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Returns the current per-cause counts (order of [`PROBE_CAUSE_NAMES`]).
+pub fn snapshot() -> [u64; N] {
+    std::array::from_fn(|i| COUNTS[i].load(Ordering::Relaxed))
+}
+
+use std::collections::HashMap as StdHashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Mutex;
+static PAIRS_ENABLED: AtomicBool = AtomicBool::new(false);
+static PAIRS: Mutex<Option<StdHashMap<(u128, u128), u32>>> = Mutex::new(None);
+
+/// Records a candidate probe pair (no-op unless [`enable_pairs`] was called).
+pub fn count_pair(prober: u128, target: u128) {
+    if !PAIRS_ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut g = PAIRS.lock().unwrap();
+    if let Some(m) = g.as_mut() {
+        *m.entry((prober, target)).or_insert(0) += 1;
+    }
+}
+
+/// Enables pair tracking (process-wide; costs a mutex per candidate probe).
+pub fn enable_pairs() {
+    *PAIRS.lock().unwrap() = Some(StdHashMap::new());
+    PAIRS_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Histogram of pair repeat counts: (repeats, how many pairs).
+pub fn pair_histogram() -> Vec<(u32, u64)> {
+    let g = PAIRS.lock().unwrap();
+    let mut h: StdHashMap<u32, u64> = StdHashMap::new();
+    if let Some(m) = g.as_ref() {
+        for &c in m.values() {
+            *h.entry(c).or_insert(0) += 1;
+        }
+    }
+    let mut v: Vec<(u32, u64)> = h.into_iter().collect();
+    v.sort();
+    v
+}
+
+static EXTRA: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Names for [`extra_snapshot`]: completed PNS distance measurements,
+/// final-hop retransmissions, stranded re-routes after `mark_faulty`, and
+/// PNS replacements of a farther routing-table entry.
+pub const EXTRA_NAMES: [&str; 4] = [
+    "pns-measured",
+    "final-retx",
+    "stranded-reroute",
+    "pns-replaced",
+];
+
+/// Bumps an extra counter by index.
+pub fn bump(idx: usize) {
+    EXTRA[idx].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the extra counters.
+pub fn extra_snapshot() -> [u64; 4] {
+    std::array::from_fn(|i| EXTRA[i].load(Ordering::Relaxed))
+}
+
+/// Returns the hottest recorded pair.
+pub fn hottest_pair() -> Option<((u128, u128), u32)> {
+    let g = PAIRS.lock().unwrap();
+    g.as_ref()
+        .and_then(|m| m.iter().max_by_key(|(_, &c)| c).map(|(&k, &c)| (k, c)))
+}
+
+/// Resets all counters to zero.
+pub fn reset() {
+    for c in &COUNTS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        count(ProbeCause::Repair);
+        count(ProbeCause::Repair);
+        count(ProbeCause::Suspect);
+        let s = snapshot();
+        assert!(s[ProbeCause::Repair as usize] >= 2);
+        assert!(s[ProbeCause::Suspect as usize] >= 1);
+        reset();
+        // Other tests may run concurrently and bump counters between reset
+        // and snapshot; just check reset does not panic.
+    }
+}

@@ -1,0 +1,237 @@
+//! 128-bit circular identifier space.
+//!
+//! Pastry selects nodeIds and keys uniformly at random from the set of
+//! 128-bit unsigned integers and maps a key to the active node whose
+//! identifier is numerically closest to the key modulo 2^128. Identifiers are
+//! also read as sequences of base-2^b digits (most significant first) by the
+//! prefix-routing algorithm.
+
+use std::fmt;
+
+/// A 128-bit identifier on the Pastry ring; used for both nodeIds and keys.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Id(pub u128);
+
+/// A node identifier.
+pub type NodeId = Id;
+/// An object key.
+pub type Key = Id;
+
+impl Id {
+    /// Number of digit rows for a given `b` (ceil(128 / b)).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= b <= 8`.
+    pub fn rows(b: u8) -> usize {
+        assert!((1..=8).contains(&b), "b must be in 1..=8");
+        128usize.div_ceil(b as usize)
+    }
+
+    /// Draws a uniformly random identifier.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Id {
+        Id(rng.gen())
+    }
+
+    /// The `row`-th base-2^b digit, most significant first.
+    ///
+    /// For `b` values that do not divide 128, the last digit is the remaining
+    /// low-order bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= Id::rows(b)`.
+    pub fn digit(&self, row: usize, b: u8) -> u8 {
+        let rows = Self::rows(b);
+        assert!(row < rows, "row {row} out of range for b={b}");
+        let hi_bits = (row + 1) * b as usize;
+        if hi_bits <= 128 {
+            ((self.0 >> (128 - hi_bits)) & ((1u128 << b) - 1)) as u8
+        } else {
+            let width = 128 - row * b as usize;
+            (self.0 & ((1u128 << width) - 1)) as u8
+        }
+    }
+
+    /// Length of the shared base-2^b digit prefix of `self` and `other`.
+    pub fn shared_prefix_len(&self, other: Id, b: u8) -> usize {
+        if *self == other {
+            return Self::rows(b);
+        }
+        // The first differing bit determines the first differing digit.
+        let xor = self.0 ^ other.0;
+        let first_diff_bit = xor.leading_zeros() as usize; // 0..127
+        (first_diff_bit / b as usize).min(Self::rows(b) - 1)
+    }
+
+    /// Clockwise distance from `self` to `other` (increasing identifiers).
+    pub fn cw_dist(&self, other: Id) -> u128 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// Counter-clockwise distance from `self` to `other`.
+    pub fn ccw_dist(&self, other: Id) -> u128 {
+        self.0.wrapping_sub(other.0)
+    }
+
+    /// Minimal ring distance between `self` and `other`.
+    pub fn ring_dist(&self, other: Id) -> u128 {
+        let cw = self.cw_dist(other);
+        let ccw = self.ccw_dist(other);
+        cw.min(ccw)
+    }
+
+    /// `true` if `self` lies on the clockwise arc from `a` to `b`, inclusive.
+    pub fn on_cw_arc(&self, a: Id, b: Id) -> bool {
+        a.cw_dist(*self) <= a.cw_dist(b)
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Short form: first 8 hex digits, enough to tell nodes apart in logs.
+        write!(f, "{:08x}", (self.0 >> 96) as u32)
+    }
+}
+
+impl From<u128> for Id {
+    fn from(v: u128) -> Self {
+        Id(v)
+    }
+}
+
+/// Returns whichever of `a` or `b` is closer to `key` on the ring, breaking
+/// exact ties towards the numerically smaller identifier so that all nodes
+/// agree on a key's root.
+pub fn closer_to(key: Key, a: NodeId, b: NodeId) -> NodeId {
+    let da = a.ring_dist(key);
+    let db = b.ring_dist(key);
+    match da.cmp(&db) {
+        std::cmp::Ordering::Less => a,
+        std::cmp::Ordering::Greater => b,
+        std::cmp::Ordering::Equal => {
+            if a.0 <= b.0 {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_for_common_b() {
+        assert_eq!(Id::rows(1), 128);
+        assert_eq!(Id::rows(2), 64);
+        assert_eq!(Id::rows(3), 43);
+        assert_eq!(Id::rows(4), 32);
+        assert_eq!(Id::rows(5), 26);
+        assert_eq!(Id::rows(8), 16);
+    }
+
+    #[test]
+    fn digits_b4_reads_hex_nibbles() {
+        let id = Id(0xfedc_ba98_7654_3210_0123_4567_89ab_cdef);
+        assert_eq!(id.digit(0, 4), 0xf);
+        assert_eq!(id.digit(1, 4), 0xe);
+        assert_eq!(id.digit(31, 4), 0xf);
+    }
+
+    #[test]
+    fn digits_b3_last_digit_is_partial() {
+        let id = Id(u128::MAX);
+        // 42 full digits of value 7, then 2 remaining bits = 3.
+        assert_eq!(id.digit(41, 3), 7);
+        assert_eq!(id.digit(42, 3), 3);
+    }
+
+    #[test]
+    fn digit_reconstructs_id_for_dividing_b() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for b in [1u8, 2, 4, 8] {
+            let id = Id::random(&mut rng);
+            let mut acc: u128 = 0;
+            for r in 0..Id::rows(b) {
+                acc = (acc << b) | id.digit(r, b) as u128;
+            }
+            assert_eq!(acc, id.0, "b={b}");
+        }
+    }
+
+    #[test]
+    fn shared_prefix_is_symmetric_and_consistent_with_digits() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for b in [1u8, 2, 3, 4, 5] {
+            for _ in 0..200 {
+                let a = Id::random(&mut rng);
+                let x = Id::random(&mut rng);
+                let l = a.shared_prefix_len(x, b);
+                assert_eq!(l, x.shared_prefix_len(a, b));
+                for r in 0..l {
+                    assert_eq!(a.digit(r, b), x.digit(r, b));
+                }
+                if l < Id::rows(b) && a != x {
+                    assert_ne!(a.digit(l, b), x.digit(l, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_of_self_is_all_rows() {
+        let id = Id(42);
+        assert_eq!(id.shared_prefix_len(id, 4), 32);
+    }
+
+    #[test]
+    fn ring_distance_is_symmetric_and_bounded() {
+        let a = Id(10);
+        let b = Id(u128::MAX - 5);
+        assert_eq!(a.ring_dist(b), b.ring_dist(a));
+        assert_eq!(a.ring_dist(b), 16);
+    }
+
+    #[test]
+    fn cw_ccw_wrap() {
+        let a = Id(u128::MAX);
+        let b = Id(3);
+        assert_eq!(a.cw_dist(b), 4);
+        assert_eq!(b.ccw_dist(a), 4);
+    }
+
+    #[test]
+    fn arc_membership() {
+        let a = Id(100);
+        let b = Id(200);
+        assert!(Id(150).on_cw_arc(a, b));
+        assert!(Id(100).on_cw_arc(a, b));
+        assert!(Id(200).on_cw_arc(a, b));
+        assert!(!Id(50).on_cw_arc(a, b));
+        // Wrapping arc.
+        let c = Id(u128::MAX - 10);
+        assert!(Id(5).on_cw_arc(c, Id(20)));
+        assert!(!Id(500).on_cw_arc(c, Id(20)));
+    }
+
+    #[test]
+    fn closer_to_breaks_ties_deterministically() {
+        let key = Id(100);
+        let a = Id(90);
+        let b = Id(110);
+        assert_eq!(closer_to(key, a, b), a);
+        assert_eq!(closer_to(key, b, a), a);
+        assert_eq!(closer_to(key, Id(95), b), Id(95));
+    }
+}

@@ -1,0 +1,404 @@
+//! The leaf set: the `l/2` closest nodeIds on each side of the local node.
+//!
+//! Leaf sets connect the overlay nodes in a ring and are the foundation of
+//! consistent routing: a key is delivered by the node whose identifier is
+//! closest to it, and the leaf set is how a node knows whether that node is
+//! itself.
+
+use crate::id::{closer_to, Key, NodeId};
+
+/// The leaf set of a Pastry node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafSet {
+    own: NodeId,
+    half: usize,
+    /// Counter-clockwise neighbours, closest first (`left[0]` is the
+    /// immediate predecessor; `left.last()` is the leftmost member).
+    left: Vec<NodeId>,
+    /// Clockwise neighbours, closest first.
+    right: Vec<NodeId>,
+    /// `true` when some node sits on both sides: the overlay is smaller than
+    /// `l` and the leaf set wraps the entire ring.
+    overlap: bool,
+}
+
+impl LeafSet {
+    /// Creates an empty leaf set holding up to `half` nodes per side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half == 0`.
+    pub fn new(own: NodeId, half: usize) -> Self {
+        assert!(half > 0, "leaf set half size must be positive");
+        LeafSet {
+            own,
+            half,
+            left: Vec::with_capacity(half),
+            right: Vec::with_capacity(half),
+            overlap: false,
+        }
+    }
+
+    /// The local node's identifier.
+    pub fn own(&self) -> NodeId {
+        self.own
+    }
+
+    /// Maximum nodes per side (`l/2`).
+    pub fn half(&self) -> usize {
+        self.half
+    }
+
+    /// Current left-side members, closest first.
+    pub fn left(&self) -> &[NodeId] {
+        &self.left
+    }
+
+    /// Current right-side members, closest first.
+    pub fn right(&self) -> &[NodeId] {
+        &self.right
+    }
+
+    /// The immediate counter-clockwise neighbour, if known.
+    pub fn left_neighbor(&self) -> Option<NodeId> {
+        self.left.first().copied()
+    }
+
+    /// The immediate clockwise neighbour, if known.
+    pub fn right_neighbor(&self) -> Option<NodeId> {
+        self.right.first().copied()
+    }
+
+    /// The farthest member on the left side.
+    pub fn leftmost(&self) -> Option<NodeId> {
+        self.left.last().copied()
+    }
+
+    /// The farthest member on the right side.
+    pub fn rightmost(&self) -> Option<NodeId> {
+        self.right.last().copied()
+    }
+
+    /// All distinct members (a node can sit on both sides in a small
+    /// overlay).
+    pub fn members(&self) -> Vec<NodeId> {
+        let mut m = self.left.clone();
+        for &r in &self.right {
+            if !m.contains(&r) {
+                m.push(r);
+            }
+        }
+        m
+    }
+
+    /// `true` if `id` is a member of either side.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.left.contains(&id) || self.right.contains(&id)
+    }
+
+    /// Offers `id` for membership; returns `true` if the set changed.
+    ///
+    /// The caller is responsible for the consistency rule that a node is only
+    /// added after a message has been received directly from it (or during
+    /// the join bootstrap, where every candidate is probed before the node
+    /// becomes active).
+    pub fn add(&mut self, id: NodeId) -> bool {
+        if id == self.own {
+            return false;
+        }
+        let ccw = self.own.ccw_dist(id);
+        let cw = self.own.cw_dist(id);
+        let l = Self::insert_side(&mut self.left, id, ccw, self.half, |o, n| o.ccw_dist(n), self.own);
+        let r = Self::insert_side(&mut self.right, id, cw, self.half, |o, n| o.cw_dist(n), self.own);
+        if l || r {
+            self.recompute_overlap();
+        }
+        l || r
+    }
+
+    fn recompute_overlap(&mut self) {
+        self.overlap = self.left.iter().any(|l| self.right.contains(l));
+    }
+
+    fn insert_side(
+        side: &mut Vec<NodeId>,
+        id: NodeId,
+        dist: u128,
+        half: usize,
+        dist_of: impl Fn(NodeId, NodeId) -> u128,
+        own: NodeId,
+    ) -> bool {
+        if side.contains(&id) {
+            return false;
+        }
+        let pos = side
+            .iter()
+            .position(|&m| dist_of(own, m) > dist)
+            .unwrap_or(side.len());
+        if pos >= half {
+            return false;
+        }
+        side.insert(pos, id);
+        side.truncate(half);
+        true
+    }
+
+    /// `true` if offering `id` would change the set (used to decide whether a
+    /// leaf-set candidate is worth probing before insertion).
+    pub fn would_admit(&self, id: NodeId) -> bool {
+        if id == self.own || self.contains(id) {
+            return false;
+        }
+        let ccw = self.own.ccw_dist(id);
+        let cw = self.own.cw_dist(id);
+        let admit = |side: &Vec<NodeId>, dist: u128, dist_of: &dyn Fn(NodeId) -> u128| {
+            side.len() < self.half || dist < dist_of(*side.last().unwrap())
+        };
+        admit(&self.left, ccw, &|m| self.own.ccw_dist(m))
+            || admit(&self.right, cw, &|m| self.own.cw_dist(m))
+    }
+
+    /// Of `candidates`, returns those that would belong to the leaf set if
+    /// every candidate were admitted — i.e. the subset actually worth probing
+    /// before insertion.
+    ///
+    /// Probing every [`LeafSet::would_admit`] candidate would be wasteful:
+    /// after one member fails, *all* nodes beyond the span become admissible
+    /// for the single open slot, but only the closest one can end up in the
+    /// set.
+    pub fn useful_candidates(&self, candidates: &[NodeId]) -> Vec<NodeId> {
+        let mut useful: Vec<NodeId> = Vec::new();
+        for (side, dist_of) in [
+            (&self.left, &(|n: NodeId| self.own.ccw_dist(n)) as &dyn Fn(NodeId) -> u128),
+            (&self.right, &|n: NodeId| self.own.cw_dist(n)),
+        ] {
+            let mut merged: Vec<(u128, NodeId, bool)> = side
+                .iter()
+                .map(|&m| (dist_of(m), m, false))
+                .collect();
+            for &c in candidates {
+                if c != self.own && !self.contains(c) && !merged.iter().any(|&(_, m, _)| m == c) {
+                    merged.push((dist_of(c), c, true));
+                }
+            }
+            merged.sort_unstable();
+            for &(_, id, is_candidate) in merged.iter().take(self.half) {
+                if is_candidate && !useful.contains(&id) {
+                    useful.push(id);
+                }
+            }
+        }
+        useful
+    }
+
+    /// Removes `id` from both sides; returns `true` if it was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let before = self.left.len() + self.right.len();
+        self.left.retain(|&m| m != id);
+        self.right.retain(|&m| m != id);
+        let changed = before != self.left.len() + self.right.len();
+        if changed {
+            self.recompute_overlap();
+        }
+        changed
+    }
+
+    /// `true` when the leaf set is complete: both sides full, or the sides
+    /// overlap (the whole overlay is smaller than `l` and the set wraps the
+    /// ring), or the set is empty (singleton overlay).
+    pub fn is_complete(&self) -> bool {
+        if self.left.is_empty() && self.right.is_empty() {
+            return true;
+        }
+        if self.left.len() == self.half && self.right.len() == self.half {
+            return true;
+        }
+        self.overlap
+    }
+
+    /// `true` if the destination key lies between the leftmost and rightmost
+    /// leaf-set members (Fig. 2's coverage test). An empty set covers
+    /// everything (singleton overlay), as does an overlapping set (the whole
+    /// overlay is inside the leaf set); a one-sided set covers nothing.
+    pub fn covers(&self, key: Key) -> bool {
+        if self.overlap {
+            return true;
+        }
+        match (self.leftmost(), self.rightmost()) {
+            (None, None) => true,
+            (Some(lm), Some(rm)) => key.on_cw_arc(lm, rm),
+            _ => false,
+        }
+    }
+
+    /// The member (or the local node) closest to `key`, excluding the nodes
+    /// for which `excluded` returns `true` (the local node is never
+    /// excluded).
+    pub fn closest_to(&self, key: Key, excluded: impl Fn(NodeId) -> bool) -> NodeId {
+        let mut best = self.own;
+        for m in self.left.iter().chain(self.right.iter()) {
+            if !excluded(*m) {
+                best = closer_to(key, best, *m);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Id;
+
+    fn ls(own: u128, half: usize) -> LeafSet {
+        LeafSet::new(Id(own), half)
+    }
+
+    #[test]
+    fn add_orders_sides_by_ring_distance() {
+        let mut s = ls(1000, 2);
+        assert!(s.add(Id(1100)));
+        assert!(s.add(Id(1050)));
+        assert!(s.add(Id(900)));
+        assert!(s.add(Id(990)));
+        assert_eq!(s.right(), &[Id(1050), Id(1100)]);
+        assert_eq!(s.left(), &[Id(990), Id(900)]);
+        assert_eq!(s.right_neighbor(), Some(Id(1050)));
+        assert_eq!(s.left_neighbor(), Some(Id(990)));
+        assert_eq!(s.rightmost(), Some(Id(1100)));
+        assert_eq!(s.leftmost(), Some(Id(900)));
+    }
+
+    #[test]
+    fn farther_candidates_are_dropped_when_full() {
+        let mut s = ls(1000, 2);
+        s.add(Id(1010));
+        s.add(Id(1020));
+        // 1030 does not fit the right side (1010 and 1020 are closer) but it
+        // *is* the closest predecessor going counter-clockwise around the
+        // ring, so it lands on the left side.
+        assert!(s.add(Id(1030)));
+        assert!(!s.right().contains(&Id(1030)));
+        assert_eq!(s.left()[0], Id(1030));
+        assert!(s.add(Id(1005)), "closer node displaces the farthest");
+        assert_eq!(s.right(), &[Id(1005), Id(1010)]);
+    }
+
+    #[test]
+    fn small_overlay_nodes_appear_on_both_sides() {
+        // Overlay of two nodes: the other node is both predecessor and
+        // successor.
+        let mut s = ls(0, 2);
+        s.add(Id(1 << 100));
+        assert_eq!(s.left().len(), 1);
+        assert_eq!(s.right().len(), 1);
+        assert!(s.is_complete(), "overlapping sides mean a complete set");
+    }
+
+    #[test]
+    fn completeness_full_sides() {
+        let mut s = ls(1000, 2);
+        for id in [900u128, 950, 1050, 1100] {
+            s.add(Id(id));
+        }
+        assert!(s.is_complete());
+        s.remove(Id(900));
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn empty_set_is_complete_and_covers_everything() {
+        let s = ls(1000, 2);
+        assert!(s.is_complete());
+        assert!(s.covers(Id(123)));
+    }
+
+    #[test]
+    fn coverage_arc() {
+        let mut s = ls(1000, 2);
+        for id in [900u128, 950, 1050, 1100] {
+            s.add(Id(id));
+        }
+        assert!(s.covers(Id(1000)));
+        assert!(s.covers(Id(901)));
+        assert!(s.covers(Id(1099)));
+        assert!(!s.covers(Id(2000)));
+        assert!(!s.covers(Id(0)));
+    }
+
+    #[test]
+    fn one_sided_set_covers_nothing() {
+        let mut s = ls(1000, 2);
+        // Nodes so close to own on one side that both sides hold the same
+        // two nodes would be overlap; construct a genuinely one-sided view.
+        s.right.push(Id(1010));
+        assert!(!s.covers(Id(1005)));
+    }
+
+    #[test]
+    fn closest_to_matches_naive_oracle() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let own = Id::random(&mut rng);
+            let mut s = LeafSet::new(own, 4);
+            let mut all = vec![own];
+            for _ in 0..12 {
+                let id = Id::random(&mut rng);
+                s.add(id);
+                all.push(id);
+            }
+            let key = Id::random(&mut rng);
+            let members: Vec<NodeId> = {
+                let mut m = s.members();
+                m.push(own);
+                m
+            };
+            let naive = members
+                .iter()
+                .copied()
+                .reduce(|a, b| closer_to(key, a, b))
+                .unwrap();
+            assert_eq!(s.closest_to(key, |_| false), naive);
+            let _ = rng.gen::<bool>();
+        }
+    }
+
+    #[test]
+    fn closest_to_respects_exclusions() {
+        let mut s = ls(1000, 2);
+        s.add(Id(1100));
+        s.add(Id(900));
+        let c = s.closest_to(Id(1090), |n| n == Id(1100));
+        assert_eq!(c, Id(1000), "excluded best falls back to own");
+    }
+
+    #[test]
+    fn would_admit_agrees_with_add() {
+        let mut s = ls(1000, 2);
+        for id in [1010u128, 1020, 990, 980] {
+            s.add(Id(id));
+        }
+        assert!(!s.would_admit(Id(1030)));
+        assert!(s.would_admit(Id(1005)));
+        assert!(!s.would_admit(Id(1010)), "already a member");
+        assert!(!s.would_admit(Id(1000)), "own id");
+    }
+
+    #[test]
+    fn remove_clears_both_sides() {
+        let mut s = ls(0, 2);
+        s.add(Id(1 << 100));
+        assert!(s.remove(Id(1 << 100)));
+        assert!(s.left().is_empty() && s.right().is_empty());
+        assert!(!s.remove(Id(1 << 100)));
+    }
+
+    #[test]
+    fn members_deduplicates() {
+        let mut s = ls(0, 2);
+        s.add(Id(1 << 100));
+        assert_eq!(s.members().len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Outstanding-probe bookkeeping.
+//!
+//! A node has at most one outstanding probe per target. Leaf-set probes
+//! participate in the `done_probing` logic of Figure 2 (they gate activation
+//! and leaf-set repair); liveness probes of routing-table entries only detect
+//! failures.
+
+use crate::id::NodeId;
+use std::collections::HashMap;
+
+/// What a probe is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// An `LS-PROBE` (Fig. 2): carries leaf sets, gates activation/repair.
+    LeafSet,
+    /// A liveness probe of a routing-table entry (§3.2).
+    Liveness,
+}
+
+/// State of one outstanding probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeState {
+    /// What the probe is for.
+    pub kind: ProbeKind,
+    /// Retry attempt (0 = first probe).
+    pub attempt: u32,
+    /// When the current attempt was sent, microseconds.
+    pub sent_at_us: u64,
+    /// Whether exhausting this probe should be announced to the leaf set.
+    /// Confirmation probes (triggered by a peer's `failed` set) do not
+    /// re-announce: the failure is already being disseminated, and
+    /// re-announcing from every member would cascade quadratically.
+    pub announce: bool,
+}
+
+/// Verdict for a probe timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutVerdict {
+    /// The timeout does not match the outstanding probe (already answered or
+    /// superseded); ignore it.
+    Stale,
+    /// Retry the probe; the new attempt number is given.
+    Retry(u32),
+    /// Retries are exhausted; mark the target faulty.
+    Exhausted(ProbeState),
+}
+
+/// Tracks a node's outstanding probes.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeManager {
+    outstanding: HashMap<NodeId, ProbeState>,
+}
+
+impl ProbeManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a probe to `target`; returns `false` if one is already
+    /// outstanding.
+    pub fn begin(&mut self, target: NodeId, kind: ProbeKind, announce: bool, now_us: u64) -> bool {
+        if self.outstanding.contains_key(&target) {
+            return false;
+        }
+        self.outstanding.insert(
+            target,
+            ProbeState {
+                kind,
+                attempt: 0,
+                sent_at_us: now_us,
+                announce,
+            },
+        );
+        true
+    }
+
+    /// `true` if a probe to `target` is outstanding.
+    pub fn contains(&self, target: NodeId) -> bool {
+        self.outstanding.contains_key(&target)
+    }
+
+    /// The outstanding probe to `target`, if any.
+    pub fn get(&self, target: NodeId) -> Option<ProbeState> {
+        self.outstanding.get(&target).copied()
+    }
+
+    /// Records a reply from `target`; returns the cleared probe state (for
+    /// RTT sampling and `done_probing`).
+    pub fn on_reply(&mut self, target: NodeId) -> Option<ProbeState> {
+        self.outstanding.remove(&target)
+    }
+
+    /// Handles a timeout for `(target, attempt)`.
+    pub fn on_timeout(&mut self, target: NodeId, attempt: u32, max_retries: u32, now_us: u64) -> TimeoutVerdict {
+        match self.outstanding.get_mut(&target) {
+            Some(st) if st.attempt == attempt => {
+                if attempt < max_retries {
+                    st.attempt += 1;
+                    st.sent_at_us = now_us;
+                    TimeoutVerdict::Retry(st.attempt)
+                } else {
+                    let st = *st;
+                    self.outstanding.remove(&target);
+                    TimeoutVerdict::Exhausted(st)
+                }
+            }
+            _ => TimeoutVerdict::Stale,
+        }
+    }
+
+    /// Number of outstanding leaf-set probes (the `probing_i` set of Fig. 2).
+    pub fn leaf_set_outstanding(&self) -> usize {
+        self.outstanding
+            .values()
+            .filter(|s| s.kind == ProbeKind::LeafSet)
+            .count()
+    }
+
+    /// Total outstanding probes.
+    pub fn len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// `true` when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Id;
+
+    #[test]
+    fn begin_is_idempotent_per_target() {
+        let mut pm = ProbeManager::new();
+        assert!(pm.begin(Id(1), ProbeKind::LeafSet, true, 0));
+        assert!(!pm.begin(Id(1), ProbeKind::Liveness, true, 5));
+        assert_eq!(pm.get(Id(1)).unwrap().kind, ProbeKind::LeafSet);
+        assert_eq!(pm.leaf_set_outstanding(), 1);
+    }
+
+    #[test]
+    fn reply_clears_and_returns_state() {
+        let mut pm = ProbeManager::new();
+        pm.begin(Id(1), ProbeKind::Liveness, true, 10);
+        let st = pm.on_reply(Id(1)).unwrap();
+        assert_eq!(st.sent_at_us, 10);
+        assert!(pm.is_empty());
+        assert!(pm.on_reply(Id(1)).is_none());
+    }
+
+    #[test]
+    fn timeout_retries_then_exhausts() {
+        let mut pm = ProbeManager::new();
+        pm.begin(Id(1), ProbeKind::LeafSet, false, 0);
+        assert_eq!(pm.on_timeout(Id(1), 0, 2, 10), TimeoutVerdict::Retry(1));
+        assert_eq!(pm.on_timeout(Id(1), 1, 2, 20), TimeoutVerdict::Retry(2));
+        match pm.on_timeout(Id(1), 2, 2, 30) {
+            TimeoutVerdict::Exhausted(st) => {
+                assert_eq!(st.kind, ProbeKind::LeafSet);
+                assert!(!st.announce);
+            }
+            other => panic!("expected exhausted, got {other:?}"),
+        }
+        assert!(pm.is_empty());
+    }
+
+    #[test]
+    fn stale_timeouts_are_ignored() {
+        let mut pm = ProbeManager::new();
+        pm.begin(Id(1), ProbeKind::LeafSet, false, 0);
+        pm.on_timeout(Id(1), 0, 2, 10); // now attempt 1
+        assert_eq!(pm.on_timeout(Id(1), 0, 2, 20), TimeoutVerdict::Stale);
+        pm.on_reply(Id(1));
+        assert_eq!(pm.on_timeout(Id(1), 1, 2, 30), TimeoutVerdict::Stale);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-peer retransmission timeout estimation.
+//!
+//! Timeouts are estimated as in TCP (Jacobson/Karn) but set more aggressively
+//! (§3.2): Pastry has several alternative next hops at every hop except the
+//! last, so an occasional spurious retransmission merely exercises a
+//! redundant route, whereas a conservative timeout would inflate delay.
+
+use crate::id::NodeId;
+use std::collections::HashMap;
+
+/// Jacobson-style smoothed RTT estimator for one peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtoEstimator {
+    srtt_us: f64,
+    rttvar_us: f64,
+    samples: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator with no samples.
+    pub fn new() -> Self {
+        RtoEstimator {
+            srtt_us: 0.0,
+            rttvar_us: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one round-trip sample, microseconds.
+    pub fn update(&mut self, sample_us: u64) {
+        let s = sample_us as f64;
+        if self.samples == 0 {
+            self.srtt_us = s;
+            self.rttvar_us = s / 2.0;
+        } else {
+            let err = s - self.srtt_us;
+            self.srtt_us += 0.125 * err;
+            self.rttvar_us += 0.25 * (err.abs() - self.rttvar_us);
+        }
+        self.samples = self.samples.saturating_add(1);
+    }
+
+    /// Number of samples fed so far.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// The retransmission timeout: `srtt + 4·rttvar` (Jacobson), clamped to
+    /// `min_us` from below; `initial_us` when no samples exist. The
+    /// aggressiveness comes from the low floor, not from shaving the
+    /// variance term — a tighter multiplier fires spuriously on ordinary
+    /// delay jitter and floods the network with suspect probes.
+    pub fn rto_us(&self, min_us: u64, initial_us: u64) -> u64 {
+        if self.samples == 0 {
+            return initial_us;
+        }
+        ((self.srtt_us + 4.0 * self.rttvar_us) as u64).max(min_us)
+    }
+}
+
+impl Default for RtoEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RTO estimators for all peers of a node, with size-bounded pruning.
+#[derive(Debug, Clone, Default)]
+pub struct RtoTable {
+    peers: HashMap<NodeId, RtoEstimator>,
+}
+
+impl RtoTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a sample for a peer.
+    pub fn update(&mut self, peer: NodeId, sample_us: u64) {
+        self.peers.entry(peer).or_default().update(sample_us);
+        // Bound memory: drop a stale entry when the table grows large. The
+        // exact victim does not matter; estimators rebuild in one sample.
+        if self.peers.len() > 4096 {
+            if let Some(&k) = self.peers.keys().next() {
+                self.peers.remove(&k);
+            }
+        }
+    }
+
+    /// Current timeout for a peer.
+    pub fn rto_us(&self, peer: NodeId, min_us: u64, initial_us: u64) -> u64 {
+        self.peers
+            .get(&peer)
+            .map(|e| e.rto_us(min_us, initial_us))
+            .unwrap_or(initial_us)
+    }
+
+    /// Drops a departed peer.
+    pub fn forget(&mut self, peer: NodeId) {
+        self.peers.remove(&peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Id;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = RtoEstimator::new();
+        assert_eq!(e.rto_us(10, 999), 999, "initial timeout before samples");
+        e.update(100_000);
+        // srtt = 100ms, rttvar = 50ms → rto = 300ms.
+        assert_eq!(e.rto_us(10, 999), 300_000);
+    }
+
+    #[test]
+    fn steady_samples_converge_to_tight_rto() {
+        let mut e = RtoEstimator::new();
+        for _ in 0..100 {
+            e.update(50_000);
+        }
+        let rto = e.rto_us(1_000, 0);
+        assert!(rto < 70_000, "steady RTT gives a tight timeout, got {rto}");
+        assert!(rto >= 50_000);
+    }
+
+    #[test]
+    fn variance_widens_rto() {
+        let mut steady = RtoEstimator::new();
+        let mut jittery = RtoEstimator::new();
+        for i in 0..100u64 {
+            steady.update(50_000);
+            jittery.update(if i % 2 == 0 { 20_000 } else { 80_000 });
+        }
+        assert!(jittery.rto_us(0, 0) > steady.rto_us(0, 0));
+    }
+
+    #[test]
+    fn floor_applies() {
+        let mut e = RtoEstimator::new();
+        e.update(10);
+        assert_eq!(e.rto_us(20_000, 0), 20_000);
+    }
+
+    #[test]
+    fn table_tracks_peers_independently() {
+        let mut t = RtoTable::new();
+        t.update(Id(1), 10_000);
+        t.update(Id(2), 90_000);
+        assert!(t.rto_us(Id(1), 0, 0) < t.rto_us(Id(2), 0, 0));
+        assert_eq!(t.rto_us(Id(3), 0, 777), 777);
+        t.forget(Id(1));
+        assert_eq!(t.rto_us(Id(1), 0, 777), 777);
+    }
+}

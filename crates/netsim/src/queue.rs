@@ -1,0 +1,166 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, insertion sequence)`, so two events at the
+//! same instant always pop in insertion order and a simulation run is fully
+//! reproducible for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at an absolute simulated time.
+#[derive(Debug, Clone)]
+pub struct Scheduled<T> {
+    /// Absolute firing time, microseconds.
+    pub at_us: u64,
+    seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for the max-heap: earliest first.
+        (other.at_us, other.seq).cmp(&(self.at_us, self.seq))
+    }
+}
+
+/// A priority queue of timed events with a monotonic clock.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+    now_us: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now_us: 0,
+        }
+    }
+
+    /// The current simulated time (the firing time of the last popped
+    /// event).
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at_us`.
+    ///
+    /// Scheduling in the past is clamped to the current time (the event fires
+    /// "immediately", after already-queued events at the same instant).
+    pub fn schedule_at(&mut self, at_us: u64, payload: T) {
+        let at_us = at_us.max(self.now_us);
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at_us,
+            seq: self.seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` after a relative delay.
+    pub fn schedule_in(&mut self, delay_us: u64, payload: T) {
+        self.schedule_at(self.now_us.saturating_add(delay_us), payload);
+    }
+
+    /// Pops the earliest event and advances the clock to its firing time.
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at_us >= self.now_us, "time went backwards");
+        self.now_us = ev.at_us;
+        Some(ev)
+    }
+
+    /// The firing time of the next event without popping it.
+    pub fn peek_time_us(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.at_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        assert_eq!(q.now_us(), 0);
+        q.pop();
+        assert_eq!(q.now_us(), 100);
+        q.schedule_in(50, ());
+        assert_eq!(q.peek_time_us(), Some(150));
+    }
+
+    #[test]
+    fn past_schedules_are_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "x");
+        q.pop();
+        q.schedule_at(10, "late");
+        let e = q.pop().unwrap();
+        assert_eq!(e.at_us, 100);
+        assert_eq!(q.now_us(), 100);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(1, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Weighted router-level graphs and shortest-path computation.
+//!
+//! Edges carry two weights: a *routing* weight (used to select paths, mirroring
+//! the routing-policy weights of the Georgia Tech topology generator) and a
+//! *delay* weight (accumulated along the selected path to obtain the one-way
+//! network delay). Keeping the two separate lets transit-stub topologies route
+//! traffic through transit domains even when a shortcut through a stub domain
+//! would have lower delay, exactly as the paper's GATech setup does.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of a router within a [`Graph`].
+pub type RouterId = u32;
+
+/// A single directed edge of the router graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Destination router.
+    pub to: RouterId,
+    /// Weight used by shortest-path routing (policy weight).
+    pub routing_weight: f64,
+    /// One-way delay accumulated when a packet traverses this edge, in
+    /// microseconds.
+    pub delay_us: u64,
+}
+
+/// An undirected weighted multigraph of routers.
+///
+/// The graph is built incrementally with [`Graph::add_edge`] and then frozen
+/// into a [`DelayMatrix`] with [`Graph::all_pairs_delay`].
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<Edge>>,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` routers and no links.
+    pub fn with_routers(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of routers in the graph.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` if the graph has no routers.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds a new isolated router and returns its id.
+    pub fn add_router(&mut self) -> RouterId {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as RouterId
+    }
+
+    /// Adds an undirected link between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range, or if the weights are not finite
+    /// and positive.
+    pub fn add_edge(&mut self, a: RouterId, b: RouterId, routing_weight: f64, delay_us: u64) {
+        assert!(
+            routing_weight.is_finite() && routing_weight > 0.0,
+            "routing weight must be finite and positive"
+        );
+        assert!((a as usize) < self.adj.len(), "router {a} out of range");
+        assert!((b as usize) < self.adj.len(), "router {b} out of range");
+        self.adj[a as usize].push(Edge {
+            to: b,
+            routing_weight,
+            delay_us,
+        });
+        self.adj[b as usize].push(Edge {
+            to: a,
+            routing_weight,
+            delay_us,
+        });
+    }
+
+    /// Neighbours of router `r`.
+    pub fn edges(&self, r: RouterId) -> &[Edge] {
+        &self.adj[r as usize]
+    }
+
+    /// Single-source shortest paths from `src` by routing weight; returns the
+    /// *delay* accumulated along the selected path for every destination.
+    ///
+    /// Unreachable routers get `u64::MAX`.
+    pub fn shortest_delays_from(&self, src: RouterId) -> Vec<u64> {
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut delay = vec![u64::MAX; n];
+        // Heap keyed on routing weight; f64 is not Ord so store total ordering
+        // through bit conversion (all values are non-negative finite).
+        let mut heap: BinaryHeap<Reverse<(u64, RouterId)>> = BinaryHeap::new();
+        dist[src as usize] = 0.0;
+        delay[src as usize] = 0;
+        heap.push(Reverse((0, src)));
+        while let Some(Reverse((dbits, u))) = heap.pop() {
+            let d = f64::from_bits(dbits);
+            if d > dist[u as usize] {
+                continue;
+            }
+            for e in &self.adj[u as usize] {
+                let nd = d + e.routing_weight;
+                if nd < dist[e.to as usize] {
+                    dist[e.to as usize] = nd;
+                    delay[e.to as usize] = delay[u as usize].saturating_add(e.delay_us);
+                    heap.push(Reverse((nd.to_bits(), e.to)));
+                }
+            }
+        }
+        delay
+    }
+
+    /// Computes the all-pairs one-way delay matrix.
+    ///
+    /// Runs one Dijkstra per router; fine up to a few thousand routers.
+    pub fn all_pairs_delay(&self) -> DelayMatrix {
+        let n = self.adj.len();
+        let mut data = vec![0u32; n * n];
+        for src in 0..n {
+            let delays = self.shortest_delays_from(src as RouterId);
+            for (dst, d) in delays.iter().enumerate() {
+                data[src * n + dst] = (*d).min(u32::MAX as u64) as u32;
+            }
+        }
+        DelayMatrix { n, data }
+    }
+
+    /// Returns `true` if every router can reach every other router.
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for e in &self.adj[u as usize] {
+                if !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    count += 1;
+                    stack.push(e.to);
+                }
+            }
+        }
+        count == self.adj.len()
+    }
+}
+
+/// Dense matrix of one-way delays between all router pairs, in microseconds.
+#[derive(Debug, Clone)]
+pub struct DelayMatrix {
+    n: usize,
+    data: Vec<u32>,
+}
+
+impl DelayMatrix {
+    /// Number of routers covered by the matrix.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the matrix covers no routers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// One-way delay from `a` to `b` in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either router id is out of range.
+    #[inline]
+    pub fn delay_us(&self, a: RouterId, b: RouterId) -> u64 {
+        assert!((a as usize) < self.n && (b as usize) < self.n);
+        self.data[a as usize * self.n + b as usize] as u64
+    }
+
+    /// Mean delay over all ordered pairs of distinct routers, in microseconds.
+    pub fn mean_delay_us(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0u64;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b {
+                    sum += self.data[a * self.n + b] as u64;
+                }
+            }
+        }
+        sum as f64 / (self.n * (self.n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph(n: usize) -> Graph {
+        let mut g = Graph::with_routers(n);
+        for i in 0..n - 1 {
+            g.add_edge(i as u32, i as u32 + 1, 1.0, 1000);
+        }
+        g
+    }
+
+    #[test]
+    fn line_graph_delays_accumulate() {
+        let g = line_graph(5);
+        let d = g.shortest_delays_from(0);
+        assert_eq!(d, vec![0, 1000, 2000, 3000, 4000]);
+    }
+
+    #[test]
+    fn routing_weight_overrides_delay() {
+        // Two routes 0->2: direct edge with huge routing weight but tiny delay,
+        // and a two-hop route with small routing weights but big delays. The
+        // policy weight must win path selection.
+        let mut g = Graph::with_routers(3);
+        g.add_edge(0, 2, 100.0, 1);
+        g.add_edge(0, 1, 1.0, 500);
+        g.add_edge(1, 2, 1.0, 500);
+        let d = g.shortest_delays_from(0);
+        assert_eq!(d[2], 1000, "path via router 1 should be selected");
+    }
+
+    #[test]
+    fn apsp_is_symmetric_for_undirected_graphs() {
+        let g = line_graph(6);
+        let m = g.all_pairs_delay();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                assert_eq!(m.delay_us(a, b), m.delay_us(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let mut g = Graph::with_routers(2);
+        g.add_router();
+        g.add_edge(0, 1, 1.0, 10);
+        let d = g.shortest_delays_from(0);
+        assert_eq!(d[2], u64::MAX);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn connected_line_is_connected() {
+        assert!(line_graph(10).is_connected());
+    }
+
+    #[test]
+    fn mean_delay_of_pair() {
+        let g = line_graph(2);
+        let m = g.all_pairs_delay();
+        assert_eq!(m.mean_delay_us(), 1000.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        let mut g = Graph::with_routers(2);
+        g.add_edge(0, 1, -1.0, 10);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_shortest_paths() {
+        // Shortest-path *routing weights* obey the triangle inequality; the
+        // accumulated delays do too when routing weight == delay.
+        let mut g = Graph::with_routers(4);
+        g.add_edge(0, 1, 2.0, 2000);
+        g.add_edge(1, 2, 2.0, 2000);
+        g.add_edge(0, 2, 5.0, 5000);
+        g.add_edge(2, 3, 1.0, 1000);
+        let m = g.all_pairs_delay();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                for c in 0..4u32 {
+                    assert!(m.delay_us(a, b) <= m.delay_us(a, c) + m.delay_us(c, b));
+                }
+            }
+        }
+    }
+}

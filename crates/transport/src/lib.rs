@@ -1,0 +1,367 @@
+#![warn(missing_docs)]
+//! Real UDP transport for the MSPastry protocol.
+//!
+//! The [`mspastry::Node`] state machine performs no I/O; this crate binds it
+//! to an actual `UdpSocket`: a per-node thread drives the event loop (socket
+//! receive, timer wheel, local commands), executes the emitted actions, and
+//! resolves node identifiers to socket addresses through an address book
+//! fed by the [`envelope::Envelope`] hint mechanism.
+//!
+//! This is the deployment path the paper alludes to ("the code that runs in
+//! the simulator and in the real deployment is the same with the exception
+//! of low level messaging"): the protocol crate is shared verbatim between
+//! `netsim` and this transport.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mspastry::{Config, Id};
+//! use transport::UdpNode;
+//!
+//! let bootstrap = UdpNode::spawn(Id(1), Config::default(), "127.0.0.1:0", None)?;
+//! let other = UdpNode::spawn(
+//!     Id(2),
+//!     Config::default(),
+//!     "127.0.0.1:0",
+//!     Some((bootstrap.id(), bootstrap.local_addr())),
+//! )?;
+//! other.wait_active(std::time::Duration::from_secs(10));
+//! other.lookup(Id(3), 42);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod envelope;
+
+pub use envelope::Envelope;
+
+use mspastry::{Action, Config, Effects, Event, Key, Node, NodeId, Payload, TimerKind};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A lookup delivered at this node (it is the key's root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The destination key.
+    pub key: Key,
+    /// The application payload.
+    pub payload: Payload,
+    /// Overlay hops taken.
+    pub hops: u32,
+}
+
+enum Cmd {
+    Lookup(Key, Payload),
+    Shutdown,
+}
+
+/// A running MSPastry node bound to a UDP socket.
+///
+/// Dropping the handle shuts the node down.
+#[derive(Debug)]
+pub struct UdpNode {
+    id: NodeId,
+    local_addr: SocketAddr,
+    cmd_tx: Sender<Cmd>,
+    deliveries: Receiver<Delivery>,
+    active: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl UdpNode {
+    /// Binds a UDP socket and spawns the node's event loop.
+    ///
+    /// `seed` is an existing overlay node (identifier + address); `None`
+    /// bootstraps a new overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind/configuration error.
+    pub fn spawn<A: ToSocketAddrs>(
+        id: NodeId,
+        cfg: Config,
+        bind: A,
+        seed: Option<(NodeId, SocketAddr)>,
+    ) -> io::Result<UdpNode> {
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_read_timeout(Some(Duration::from_millis(2)))?;
+        let local_addr = socket.local_addr()?;
+        let (cmd_tx, cmd_rx) = channel();
+        let (delivery_tx, deliveries) = channel();
+        let active = Arc::new(AtomicBool::new(false));
+        let active2 = active.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("mspastry-{id}"))
+            .spawn(move || {
+                EventLoop {
+                    node: Node::new(id, cfg),
+                    socket,
+                    epoch: Instant::now(),
+                    timers: BinaryHeap::new(),
+                    addrs: HashMap::new(),
+                    cmd_rx,
+                    delivery_tx,
+                    active: active2,
+                    buf: vec![0u8; 64 * 1024],
+                }
+                .run(seed)
+            })?;
+        Ok(UdpNode {
+            id,
+            local_addr,
+            cmd_tx,
+            deliveries,
+            active,
+            thread: Some(thread),
+        })
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// `true` once the node has completed its join.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the node is active or the timeout elapses; returns
+    /// whether it is active.
+    pub fn wait_active(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.is_active() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.is_active()
+    }
+
+    /// Routes a lookup through the overlay.
+    pub fn lookup(&self, key: Key, payload: Payload) {
+        let _ = self.cmd_tx.send(Cmd::Lookup(key, payload));
+    }
+
+    /// Receiver of lookups delivered at this node.
+    pub fn deliveries(&self) -> &Receiver<Delivery> {
+        &self.deliveries
+    }
+
+    /// Stops the event loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UdpNode {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+struct EventLoop {
+    node: Node,
+    socket: UdpSocket,
+    epoch: Instant,
+    timers: BinaryHeap<Reverse<(u64, u64, TimerKind)>>,
+    addrs: HashMap<u128, SocketAddr>,
+    cmd_rx: Receiver<Cmd>,
+    delivery_tx: Sender<Delivery>,
+    active: Arc<AtomicBool>,
+    buf: Vec<u8>,
+}
+
+impl EventLoop {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn run(mut self, seed: Option<(NodeId, SocketAddr)>) {
+        let mut fx = Effects::new();
+        let mut timer_seq = 0u64;
+        if let Some((seed_id, seed_addr)) = seed {
+            self.addrs.insert(seed_id.0, seed_addr);
+        }
+        let now = self.now_us();
+        self.node
+            .handle(now, Event::Join { seed: seed.map(|(id, _)| id) }, &mut fx);
+        self.execute(fx.drain(), &mut timer_seq);
+
+        loop {
+            // Local commands.
+            loop {
+                match self.cmd_rx.try_recv() {
+                    Ok(Cmd::Lookup(key, payload)) => {
+                        let now = self.now_us();
+                        self.node.handle(now, Event::Lookup { key, payload }, &mut fx);
+                        let actions = fx.drain();
+                        self.execute(actions, &mut timer_seq);
+                    }
+                    Ok(Cmd::Shutdown) | Err(TryRecvError::Disconnected) => return,
+                    Err(TryRecvError::Empty) => break,
+                }
+            }
+            // Due timers.
+            let now = self.now_us();
+            while let Some(Reverse((at, _, _))) = self.timers.peek() {
+                if *at > now {
+                    break;
+                }
+                let Reverse((_, _, kind)) = self.timers.pop().unwrap();
+                self.node.handle(now, Event::Timer(kind), &mut fx);
+                let actions = fx.drain();
+                self.execute(actions, &mut timer_seq);
+            }
+            // Incoming datagrams (the socket read timeout paces the loop).
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((n, from_addr)) => {
+                    let bytes = self.buf[..n].to_vec();
+                    if let Ok(env) = Envelope::decode(&bytes) {
+                        self.addrs.insert(env.sender.0, from_addr);
+                        for (id, addr) in &env.hints {
+                            self.addrs.entry(id.0).or_insert(*addr);
+                        }
+                        let now = self.now_us();
+                        self.node.handle(
+                            now,
+                            Event::Receive {
+                                from: env.sender,
+                                msg: env.msg,
+                            },
+                            &mut fx,
+                        );
+                        let actions = fx.drain();
+                        self.execute(actions, &mut timer_seq);
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => {}
+            }
+        }
+    }
+
+    fn execute(&mut self, actions: Vec<Action>, timer_seq: &mut u64) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    let Some(&addr) = self.addrs.get(&to.0) else {
+                        continue; // no address yet; the protocol will retry
+                    };
+                    let hints = mspastry::codec::referenced_node_ids(&msg)
+                        .into_iter()
+                        .filter_map(|id| self.addrs.get(&id.0).map(|&a| (id, a)))
+                        .take(envelope::MAX_HINTS)
+                        .collect();
+                    let env = Envelope {
+                        sender: self.node.id(),
+                        hints,
+                        msg,
+                    };
+                    let _ = self.socket.send_to(&env.encode(), addr);
+                }
+                Action::SetTimer { delay_us, kind } => {
+                    *timer_seq += 1;
+                    self.timers
+                        .push(Reverse((self.now_us() + delay_us, *timer_seq, kind)));
+                }
+                Action::Deliver {
+                    key, payload, hops, ..
+                } => {
+                    let _ = self.delivery_tx.send(Delivery { key, payload, hops });
+                }
+                Action::BecameActive => self.active.store(true, Ordering::Release),
+                Action::LookupDropped { .. } => {}
+            }
+        }
+    }
+}
+
+/// A configuration with timeouts scaled down for LAN/localhost deployments
+/// and tests (the paper's defaults assume wide-area round trips).
+pub fn lan_config() -> Config {
+    Config {
+        t_ls_us: 500_000,
+        t_o_us: 200_000,
+        self_tune_period_us: 1_000_000,
+        distance_probe_spacing_us: 20_000,
+        nn_probe_timeout_us: 100_000,
+        rt_maintenance_period_us: 2_000_000,
+        ack_rto_initial_us: 100_000,
+        ack_rto_min_us: 2_000,
+        join_retry_us: 1_000_000,
+        ..Config::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspastry::Id;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn udp_overlay_forms_and_routes_lookups() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let n = 5;
+        let ids: Vec<Id> = (0..n).map(|_| Id::random(&mut rng)).collect();
+        let mut nodes = Vec::new();
+        let boot = UdpNode::spawn(ids[0], lan_config(), "127.0.0.1:0", None).unwrap();
+        let boot_contact = (boot.id(), boot.local_addr());
+        nodes.push(boot);
+        for &id in &ids[1..] {
+            let node =
+                UdpNode::spawn(id, lan_config(), "127.0.0.1:0", Some(boot_contact)).unwrap();
+            assert!(
+                node.wait_active(Duration::from_secs(20)),
+                "node {id} failed to join"
+            );
+            nodes.push(node);
+        }
+        assert!(nodes.iter().all(|n| n.is_active()));
+
+        // Route lookups for keys equal to each node's id (the root is then
+        // unambiguous) from every other node.
+        for (i, target) in ids.iter().enumerate() {
+            let issuer = &nodes[(i + 1) % n];
+            issuer.lookup(*target, i as u64);
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut received = 0;
+        while received < n && Instant::now() < deadline {
+            for (i, node) in nodes.iter().enumerate() {
+                while let Ok(d) = node.deliveries().try_recv() {
+                    assert_eq!(d.key, ids[i], "delivered at the key's root");
+                    received += 1;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(received, n, "all lookups delivered at their roots");
+        for node in nodes {
+            node.shutdown();
+        }
+    }
+}

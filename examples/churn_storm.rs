@@ -1,0 +1,43 @@
+//! Churn storm: drive an overlay through increasingly brutal session times
+//! (down to 5-minute means, far below anything measured in deployed
+//! systems) and watch dependability degrade gracefully — the paper's
+//! Figure 5 in miniature.
+//!
+//! ```sh
+//! cargo run --release -p harness --example churn_storm
+//! ```
+
+use churn::poisson::{self, PoissonParams};
+use harness::{run, RunConfig};
+use topology::TopologyKind;
+
+fn main() {
+    println!("session | active |   loss   | incorrect |  RDP | control msg/s/node");
+    println!("--------+--------+----------+-----------+------+-------------------");
+    for minutes in [120u64, 60, 30, 15, 5] {
+        let trace = poisson::trace(&PoissonParams {
+            mean_nodes: 150.0,
+            mean_session_us: minutes as f64 * 60e6,
+            duration_us: 45 * 60 * 1_000_000,
+            seed: 7 + minutes,
+        });
+        let mut cfg = RunConfig::new(trace);
+        cfg.topology = TopologyKind::GaTechSmall;
+        cfg.seed = minutes;
+        let res = run(cfg);
+        let r = &res.report;
+        println!(
+            "{:>4}min | {:>6} | {:.2e} | {:>9} | {:.2} | {:.3}",
+            minutes,
+            res.final_active,
+            r.loss_rate,
+            r.incorrect,
+            r.mean_rdp,
+            r.control_msgs_per_node_per_sec
+        );
+    }
+    println!();
+    println!("expected shape: zero incorrect deliveries at every churn level,");
+    println!("loss stays ~1e-4 or below, RDP roughly flat until 5-minute");
+    println!("sessions, control traffic rising as sessions shrink.");
+}

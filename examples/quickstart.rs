@@ -1,0 +1,54 @@
+//! Quickstart: build a small MSPastry overlay under churn, route lookups,
+//! and print the paper's headline dependability and performance metrics.
+//!
+//! ```sh
+//! cargo run --release -p harness --example quickstart
+//! ```
+
+use churn::poisson::{self, PoissonParams};
+use harness::{run, RunConfig, CATEGORY_NAMES};
+use topology::TopologyKind;
+
+fn main() {
+    // 150 nodes with 30-minute average sessions — already harsher churn than
+    // the measured Gnutella deployment — for one simulated hour.
+    let trace = poisson::trace(&PoissonParams {
+        mean_nodes: 150.0,
+        mean_session_us: 30.0 * 60e6,
+        duration_us: 3600 * 1_000_000,
+        seed: 42,
+    });
+
+    let mut cfg = RunConfig::new(trace);
+    cfg.topology = TopologyKind::GaTechSmall;
+    cfg.seed = 42;
+
+    println!("simulating one hour of a 150-node overlay under churn...");
+    let result = run(cfg);
+    let r = &result.report;
+
+    println!();
+    println!("active nodes at end      : {}", result.final_active);
+    println!("lookups issued           : {}", r.issued);
+    println!("incorrect delivery rate  : {:.2e}", r.incorrect_rate);
+    println!("lookup loss rate         : {:.2e}", r.loss_rate);
+    println!("mean RDP (delay stretch) : {:.2}", r.mean_rdp);
+    println!("mean overlay hops        : {:.2}", r.mean_hops);
+    println!(
+        "control traffic          : {:.3} msg/s/node",
+        r.control_msgs_per_node_per_sec
+    );
+    println!();
+    println!("control traffic by message type (msg/s/node):");
+    for (i, name) in CATEGORY_NAMES.iter().enumerate().take(5) {
+        println!("  {:>18}: {:.4}", name, r.totals_per_node_per_sec[i]);
+    }
+    if let (Some(p50), Some(p95)) = (r.join_latency_quantile(0.5), r.join_latency_quantile(0.95)) {
+        println!();
+        println!(
+            "join latency             : p50 {:.1} s, p95 {:.1} s",
+            p50 as f64 / 1e6,
+            p95 as f64 / 1e6
+        );
+    }
+}

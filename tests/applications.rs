@@ -1,0 +1,82 @@
+//! Integration tests for the applications built on the lookup primitive:
+//! the Squirrel web cache and the DHT key-value store.
+
+use apps::kvstore::{self};
+use apps::squirrel::{run_squirrel, SquirrelParams};
+use churn::poisson::{self, PoissonParams};
+use churn::synth::DAY_US;
+use churn::{Session, Trace};
+use harness::{run, RunConfig, Workload};
+use topology::TopologyKind;
+
+const MIN: u64 = 60 * 1_000_000;
+
+#[test]
+fn squirrel_runs_a_half_day_deployment() {
+    let mut p = SquirrelParams::quick();
+    p.web.clients = 15;
+    p.web.duration_us = DAY_US / 2;
+    let res = run_squirrel(&p);
+    assert!(res.cache.served > 30, "served {}", res.cache.served);
+    assert!(res.cache.hit_rate() > 0.1, "hit rate {}", res.cache.hit_rate());
+    assert_eq!(res.run.report.incorrect, 0);
+    // Requests while a machine was down are skipped, not lost.
+    assert_eq!(res.run.report.lost, 0, "lost {}", res.run.report.lost);
+}
+
+#[test]
+fn kvstore_gets_find_their_values_in_a_stable_overlay() {
+    let dur = 30 * MIN;
+    let sessions: Vec<Session> = (0..40)
+        .map(|_| Session {
+            arrive_us: 0,
+            depart_us: dur * 10,
+        })
+        .collect();
+    let trace = Trace::new("kv-stable", dur, sessions);
+    let ops = kvstore::generate_ops(100, 3, 40, dur, 5);
+    let mut cfg = RunConfig::new(trace);
+    cfg.topology = TopologyKind::GaTechTiny;
+    cfg.warmup_us = 5 * MIN;
+    cfg.workload = Workload::Scripted(kvstore::to_script(&ops));
+    cfg.record_deliveries = true;
+    let res = run(cfg);
+    let stats = kvstore::evaluate(&ops, &res.deliveries);
+    assert_eq!(stats.puts_stored, 100);
+    assert_eq!(
+        stats.hit_rate(),
+        1.0,
+        "stable overlay: every GET finds its value ({stats:?})"
+    );
+}
+
+#[test]
+fn kvstore_without_replication_loses_values_under_churn() {
+    // Under churn, home nodes die and roots move; the home-store model with
+    // no replication must visibly lose values — the motivation for leaf-set
+    // replication in CFS/PAST.
+    let trace = poisson::trace(&PoissonParams {
+        mean_nodes: 60.0,
+        mean_session_us: 30.0 * 60e6,
+        duration_us: 30 * MIN,
+        seed: 6,
+    });
+    let n_sessions = trace.sessions().len();
+    let ops = kvstore::generate_ops(150, 2, n_sessions, 30 * MIN, 7);
+    let mut cfg = RunConfig::new(trace);
+    cfg.topology = TopologyKind::GaTechTiny;
+    cfg.warmup_us = 10 * MIN;
+    cfg.workload = Workload::Scripted(kvstore::to_script(&ops));
+    cfg.record_deliveries = true;
+    let res = run(cfg);
+    let stats = kvstore::evaluate(&ops, &res.deliveries);
+    assert!(stats.gets_routed > 50, "routed {}", stats.gets_routed);
+    assert!(
+        stats.gets_missed > 0,
+        "churn must lose some unreplicated values ({stats:?})"
+    );
+    assert!(
+        stats.hit_rate() > 0.2,
+        "but a fair share of GETs should still succeed ({stats:?})"
+    );
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the individual MSPastry techniques (§3.2, §4):
+//! per-hop acks, active probing, self-tuning, and suppression — each switch
+//! must move the metrics in the direction the paper reports.
+
+use churn::poisson::{self, PoissonParams};
+use harness::{run, RunConfig, Workload};
+use topology::TopologyKind;
+
+const MIN: u64 = 60 * 1_000_000;
+
+fn churny_config(seed: u64) -> RunConfig {
+    let trace = poisson::trace(&PoissonParams {
+        mean_nodes: 100.0,
+        mean_session_us: 20.0 * 60e6,
+        duration_us: 40 * MIN,
+        seed,
+    });
+    let mut cfg = RunConfig::new(trace);
+    cfg.topology = TopologyKind::GaTechTiny;
+    cfg.warmup_us = 10 * MIN;
+    cfg.metrics_window_us = 5 * MIN;
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn disabling_both_reliability_techniques_loses_many_lookups() {
+    let mut cfg = churny_config(31);
+    cfg.protocol.per_hop_acks = false;
+    cfg.protocol.active_rt_probing = false;
+    let without = run(cfg);
+    let with = run(churny_config(31));
+    assert!(
+        without.report.loss_rate > 10.0 * with.report.loss_rate.max(1e-4),
+        "no acks + no probing must lose far more: {} vs {}",
+        without.report.loss_rate,
+        with.report.loss_rate
+    );
+    assert!(
+        without.report.loss_rate > 0.01,
+        "expected substantial loss without reliability techniques, got {}",
+        without.report.loss_rate
+    );
+}
+
+#[test]
+fn per_hop_acks_cut_losses_by_orders_of_magnitude() {
+    let mut cfg = churny_config(32);
+    cfg.protocol.per_hop_acks = false;
+    let without = run(cfg);
+    let with = run(churny_config(32));
+    assert!(
+        with.report.loss_rate <= without.report.loss_rate,
+        "acks must not increase losses ({} vs {})",
+        with.report.loss_rate,
+        without.report.loss_rate
+    );
+}
+
+#[test]
+fn tighter_loss_target_probes_faster_and_costs_more() {
+    let mut cfg5 = churny_config(33);
+    cfg5.protocol.target_raw_loss = 0.05;
+    let at5 = run(cfg5);
+    let mut cfg1 = churny_config(33);
+    cfg1.protocol.target_raw_loss = 0.01;
+    let at1 = run(cfg1);
+    assert!(
+        at1.mean_t_rt_us < at5.mean_t_rt_us,
+        "1% target must adopt a shorter probing period ({} vs {})",
+        at1.mean_t_rt_us,
+        at5.mean_t_rt_us
+    );
+    let rt5 = at5.report.totals_per_node_per_sec[2];
+    let rt1 = at1.report.totals_per_node_per_sec[2];
+    assert!(
+        rt1 > rt5,
+        "faster probing must show up as more rt-probe traffic ({rt1} vs {rt5})"
+    );
+}
+
+#[test]
+fn application_traffic_suppresses_probes() {
+    let mut low = churny_config(34);
+    low.workload = Workload::Poisson {
+        rate_per_node_per_sec: 0.001,
+    };
+    let low_traffic = run(low);
+    let mut high = churny_config(34);
+    high.workload = Workload::Poisson {
+        rate_per_node_per_sec: 1.0,
+    };
+    let high_traffic = run(high);
+    // Liveness-probe traffic must drop when lookups already prove liveness
+    // (§4.1: >70% of the active probes suppressed at 1 lookup/s). The broad
+    // rt-probe *category* also contains unsuppressed maintenance messages,
+    // so compare the exact `rt-probe` message counts.
+    let probes = |r: &harness::Report| {
+        r.fine_counts
+            .iter()
+            .find(|(k, _)| *k == "rt-probe")
+            .map(|(_, c)| *c)
+            .unwrap_or(0) as f64
+            / r.node_seconds
+    };
+    let low_probes = probes(&low_traffic.report);
+    let high_probes = probes(&high_traffic.report);
+    assert!(
+        high_probes < 0.5 * low_probes,
+        "suppression must cut liveness probes: {high_probes} vs {low_probes}"
+    );
+}
+
+#[test]
+fn suppression_switch_off_increases_control_traffic() {
+    let mut on = churny_config(35);
+    on.workload = Workload::Poisson {
+        rate_per_node_per_sec: 0.5,
+    };
+    let with_suppression = run(on);
+    let mut off = churny_config(35);
+    off.workload = Workload::Poisson {
+        rate_per_node_per_sec: 0.5,
+    };
+    off.protocol.probe_suppression = false;
+    let without_suppression = run(off);
+    assert!(
+        with_suppression.report.control_msgs_per_node_per_sec
+            < without_suppression.report.control_msgs_per_node_per_sec,
+        "suppression must reduce control traffic ({} vs {})",
+        with_suppression.report.control_msgs_per_node_per_sec,
+        without_suppression.report.control_msgs_per_node_per_sec
+    );
+}
+
+#[test]
+fn smaller_b_means_more_hops_and_higher_rdp() {
+    let mut b4 = churny_config(36);
+    b4.protocol.b = 4;
+    let with_b4 = run(b4);
+    let mut b1 = churny_config(36);
+    b1.protocol.b = 1;
+    let with_b1 = run(b1);
+    assert!(
+        with_b1.report.mean_hops > with_b4.report.mean_hops,
+        "b=1 must take more hops ({} vs {})",
+        with_b1.report.mean_hops,
+        with_b4.report.mean_hops
+    );
+}
+
+#[test]
+fn larger_leaf_sets_reduce_hops() {
+    let mut l8 = churny_config(37);
+    l8.protocol.leaf_set_size = 8;
+    let with_l8 = run(l8);
+    let mut l64 = churny_config(37);
+    l64.protocol.leaf_set_size = 64;
+    let with_l64 = run(l64);
+    assert!(
+        with_l64.report.mean_hops < with_l8.report.mean_hops,
+        "l=64 must shorten routes ({} vs {})",
+        with_l64.report.mean_hops,
+        with_l8.report.mean_hops
+    );
+}
