@@ -100,6 +100,9 @@ pub struct SquirrelResult {
     pub cache: CacheStats,
 }
 
+/// Per-machine `(up_start, up_end, session_index)` uptime intervals.
+pub type MachineIntervals = Vec<Vec<(u64, u64, usize)>>;
+
 /// Builds the machine up/down schedule: each client machine alternates
 /// exponential up and down periods; every up period is one overlay session.
 /// Returns the churn trace plus, per machine, its `(up_start, up_end,
@@ -110,7 +113,7 @@ pub fn machine_schedule(
     mean_up_us: f64,
     mean_down_us: f64,
     seed: u64,
-) -> (Trace, Vec<Vec<(u64, u64, usize)>>) {
+) -> (Trace, MachineIntervals) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut sessions = Vec::new();
     let mut schedule = vec![Vec::new(); machines];
@@ -153,7 +156,10 @@ pub fn machine_schedule(
             entry.2 = post_sort_index[entry.2];
         }
     }
-    (Trace::new("squirrel-machines", duration_us, sessions), schedule)
+    (
+        Trace::new("squirrel-machines", duration_us, sessions),
+        schedule,
+    )
 }
 
 /// Runs the Squirrel deployment simulation.
@@ -259,7 +265,9 @@ mod tests {
             .report
             .windows
             .iter()
-            .map(|w| w.per_category_per_node_per_sec[harness::category_index(mspastry::Category::Lookup)])
+            .map(|w| {
+                w.per_category_per_node_per_sec[harness::category_index(mspastry::Category::Lookup)]
+            })
             .collect();
         assert!(lookups.len() >= 20);
         let peak = lookups.iter().cloned().fold(0.0, f64::max);

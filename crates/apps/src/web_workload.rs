@@ -174,11 +174,7 @@ mod tests {
             ..p
         };
         let reqs = generate(&p6);
-        let day = |i: u64| {
-            reqs.iter()
-                .filter(|r| r.at_us / DAY_US == i)
-                .count() as f64
-        };
+        let day = |i: u64| reqs.iter().filter(|r| r.at_us / DAY_US == i).count() as f64;
         let thursday = day(0);
         let saturday = day(2);
         assert!(

@@ -38,7 +38,7 @@ fn main() {
                 min_rate = min_rate.min(mean);
             }
             // Print every 6th hour to bound output size.
-            if (t0 / HOUR) % 6 == 0 {
+            if (t0 / HOUR).is_multiple_of(6) {
                 println!(
                     "{:>8} | {:>12} | {:>7}",
                     t0 / HOUR,

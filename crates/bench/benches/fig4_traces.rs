@@ -70,7 +70,13 @@ fn main() {
     }
     bench::csv::write(
         "fig4_windows",
-        &["trace", "start_us", "rdp", "control_per_node_per_sec", "active"],
+        &[
+            "trace",
+            "start_us",
+            "rdp",
+            "control_per_node_per_sec",
+            "active",
+        ],
         &rows,
     );
 

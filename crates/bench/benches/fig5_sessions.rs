@@ -60,13 +60,22 @@ fn main() {
     }
     bench::csv::write(
         "fig5_sessions",
-        &["session_min", "rdp", "loss_rate", "control_per_node_per_sec", "active"],
+        &[
+            "session_min",
+            "rdp",
+            "loss_rate",
+            "control_per_node_per_sec",
+            "active",
+        ],
         &rows,
     );
 
     println!();
     println!("--- right: join-latency CDF (seconds) ---");
-    println!("{:>9} | {:>10} | {:>10}", "quantile", "5 minutes", "30 minutes");
+    println!(
+        "{:>9} | {:>10} | {:>10}",
+        "quantile", "5 minutes", "30 minutes"
+    );
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
         print!("{q:>9.2} |");
         for (_, lats) in &cdf_sources {

@@ -42,7 +42,13 @@ fn main() {
     }
     bench::csv::write(
         "fig6_loss",
-        &["network_loss", "rdp", "control_per_node_per_sec", "lookup_loss", "incorrect_rate"],
+        &[
+            "network_loss",
+            "rdp",
+            "control_per_node_per_sec",
+            "lookup_loss",
+            "incorrect_rate",
+        ],
         &rows,
     );
     println!();

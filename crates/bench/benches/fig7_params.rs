@@ -11,7 +11,11 @@ use bench::{header, scale};
 
 fn main() {
     let s = scale();
-    header("Figure 7", "parameter sweeps: leaf-set size l and digit width b", s);
+    header(
+        "Figure 7",
+        "parameter sweeps: leaf-set size l and digit width b",
+        s,
+    );
 
     println!();
     println!("--- left/centre: leaf-set size l ---");
@@ -27,10 +31,7 @@ fn main() {
         let res = bench::timed_run(&format!("l={l}"), cfg);
         println!(
             "{:>4} | {:>18.3} | {:>6.2} | {:>6.2}",
-            l,
-            res.report.control_msgs_per_node_per_sec,
-            res.report.mean_rdp,
-            res.report.mean_hops
+            l, res.report.control_msgs_per_node_per_sec, res.report.mean_rdp, res.report.mean_hops
         );
     }
 
@@ -48,10 +49,7 @@ fn main() {
         let res = bench::timed_run(&format!("b={b}"), cfg);
         println!(
             "{:>4} | {:>6.2} | {:>6.2} | {:>18.3}",
-            b,
-            res.report.mean_rdp,
-            res.report.mean_hops,
-            res.report.control_msgs_per_node_per_sec
+            b, res.report.mean_rdp, res.report.mean_hops, res.report.control_msgs_per_node_per_sec
         );
     }
     println!();

@@ -38,9 +38,14 @@ fn main() {
     );
 
     println!();
-    println!("cache: served {} hits {} misses {} (hit rate {:.1}%), skipped {}",
-        res.cache.served, res.cache.hits, res.cache.misses,
-        res.cache.hit_rate() * 100.0, res.cache.skipped);
+    println!(
+        "cache: served {} hits {} misses {} (hit rate {:.1}%), skipped {}",
+        res.cache.served,
+        res.cache.hits,
+        res.cache.misses,
+        res.cache.hit_rate() * 100.0,
+        res.cache.skipped
+    );
     println!(
         "routing: incorrect {} lost {} of {} lookups",
         res.run.report.incorrect, res.run.report.lost, res.run.report.issued

@@ -41,7 +41,10 @@ fn main() {
     let flag = |name: &str| args.iter().any(|a| a == name);
     let parse_or = |name: &str, default: f64| -> f64 {
         get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("bad value for {name}: {v}")))
+            })
             .unwrap_or(default)
     };
 
@@ -145,7 +148,10 @@ fn main() {
     }
     if flag("--windows") {
         println!();
-        println!("{:>10} | {:>6} | {:>9} | {:>8}", "t (min)", "RDP", "ctl/s/n", "active");
+        println!(
+            "{:>10} | {:>6} | {:>9} | {:>8}",
+            "t (min)", "RDP", "ctl/s/n", "active"
+        );
         for w in &r.windows {
             println!(
                 "{:>10} | {:>6.2} | {:>9.3} | {:>8.0}",

@@ -112,7 +112,10 @@ mod tests {
         sorted.sort_unstable();
         let median = sorted[n / 2] as f64;
         assert!((mean / 8_280e6 - 1.0).abs() < 0.05, "sample mean {mean}");
-        assert!((median / 3_600e6 - 1.0).abs() < 0.05, "sample median {median}");
+        assert!(
+            (median / 3_600e6 - 1.0).abs() < 0.05,
+            "sample median {median}"
+        );
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let n = 100_000;
         let mean = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
-        assert!((mean / 1_000_000.0 - 1.0).abs() < 0.05, "sample mean {mean}");
+        assert!(
+            (mean / 1_000_000.0 - 1.0).abs() < 0.05,
+            "sample mean {mean}"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ mod tests {
         let t = trace(&OvernetParams::default());
         let mean_min = t.mean_session_us() / 60e6;
         let median_min = t.median_session_us() as f64 / 60e6;
-        assert!((mean_min - 134.0).abs() < 25.0, "mean session {mean_min} min");
+        assert!(
+            (mean_min - 134.0).abs() < 25.0,
+            "mean session {mean_min} min"
+        );
         assert!(
             (median_min - 79.0).abs() < 20.0,
             "median session {median_min} min"
@@ -79,7 +82,10 @@ mod tests {
         let t = trace(&OvernetParams::default());
         for day in 1..7u64 {
             let active = t.active_at(day * 24 * 3600 * 1_000_000);
-            assert!((200..=800).contains(&active), "active {active} at day {day}");
+            assert!(
+                (200..=800).contains(&active),
+                "active {active} at day {day}"
+            );
         }
     }
 

@@ -252,6 +252,9 @@ mod tests {
             churn_daily_amplitude: 0.2,
             seed: 11,
         };
-        assert_eq!(generate("a", &params).sessions(), generate("a", &params).sessions());
+        assert_eq!(
+            generate("a", &params).sessions(),
+            generate("a", &params).sessions()
+        );
     }
 }

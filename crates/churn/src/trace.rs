@@ -153,11 +153,11 @@ impl Trace {
             }
         }
         let mut out = Vec::with_capacity(n_windows);
-        for w in 0..n_windows {
+        for (w, &n_fails) in fails.iter().enumerate().take(n_windows) {
             let t0 = w as u64 * window_us;
             let mid = t0 + window_us / 2;
             let active = self.active_at(mid).max(1);
-            let rate = fails[w] as f64 / (active as f64 * (window_us as f64 / 1e6));
+            let rate = n_fails as f64 / (active as f64 * (window_us as f64 / 1e6));
             out.push((t0, rate));
         }
         out

@@ -11,10 +11,7 @@ fn arb_session() -> impl Strategy<Value = Session> {
 }
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
-    (
-        prop::collection::vec(arb_session(), 0..60),
-        1u64..2_000_000,
-    )
+    (prop::collection::vec(arb_session(), 0..60), 1u64..2_000_000)
         .prop_map(|(sessions, dur)| Trace::new("prop", dur, sessions))
 }
 

@@ -28,6 +28,8 @@
 //! assert_eq!(result.report.incorrect, 0);
 //! ```
 
+pub use mspastry::fxhash;
+
 pub mod metrics;
 pub mod oracle;
 pub mod runner;

@@ -7,9 +7,9 @@
 //! per node, everything except first-transmission lookups), optionally broken
 //! down by message type as in Figure 4.
 
+use crate::fxhash::FxHashMap;
 use mspastry::{Category, LookupId};
 use netsim::EndpointId;
-use std::collections::HashMap;
 
 /// Number of message categories tracked.
 pub const N_CATEGORIES: usize = 6;
@@ -59,8 +59,8 @@ pub struct Metrics {
     windows: Vec<Window>,
     active_now: usize,
     last_active_us: u64,
-    pending: HashMap<LookupId, PendingLookup>,
-    delivered_ids: HashMap<LookupId, ()>,
+    pending: FxHashMap<LookupId, PendingLookup>,
+    delivered_ids: FxHashMap<LookupId, ()>,
     issued: u64,
     delivered: u64,
     incorrect: u64,
@@ -73,7 +73,7 @@ pub struct Metrics {
     totals: [u64; N_CATEGORIES],
     bytes_total: u64,
     slow_deliveries: u64,
-    fine: HashMap<&'static str, u64>,
+    fine: FxHashMap<&'static str, u64>,
     lost: u64,
     censored: u64,
 }
@@ -90,8 +90,8 @@ impl Metrics {
             windows: Vec::new(),
             active_now: 0,
             last_active_us: measure_start_us,
-            pending: HashMap::new(),
-            delivered_ids: HashMap::new(),
+            pending: FxHashMap::default(),
+            delivered_ids: FxHashMap::default(),
             issued: 0,
             delivered: 0,
             incorrect: 0,
@@ -104,7 +104,7 @@ impl Metrics {
             totals: [0; N_CATEGORIES],
             bytes_total: 0,
             slow_deliveries: 0,
-            fine: HashMap::new(),
+            fine: FxHashMap::default(),
             lost: 0,
             censored: 0,
         }
@@ -330,7 +330,7 @@ fn rate(num: u64, den: u64) -> f64 {
 }
 
 /// Per-window series entry (Figure 4's time axis).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowReport {
     /// Window start, microseconds.
     pub start_us: u64,
@@ -345,7 +345,7 @@ pub struct WindowReport {
 }
 
 /// Final metrics of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Lookups issued inside the measurement interval.
     pub issued: u64,
@@ -406,7 +406,7 @@ impl Report {
 /// source-destination network delay.
 #[derive(Debug, Default)]
 pub struct LookupSources {
-    map: HashMap<LookupId, EndpointId>,
+    map: FxHashMap<LookupId, EndpointId>,
 }
 
 impl LookupSources {

@@ -3,15 +3,30 @@
 //! consistency checking, and metric collection — the platform described in
 //! §5.1 of the paper.
 
+use crate::fxhash::FxHashMap;
 use crate::metrics::{Metrics, Report};
 use crate::oracle::Oracle;
 use churn::{Trace, TraceEvent};
-use mspastry::{Action, Config, Effects, Event, Id, Key, Message, Node, NodeId, Payload, TimerKind};
+use mspastry::{
+    Action, Config, Effects, Event, Id, Key, Message, Node, NodeId, Payload, TimerKind,
+};
 use netsim::{EndpointId, EventQueue, Network};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::sync::OnceLock;
 use topology::{Topology, TopologyKind};
+
+/// Whether to print every dropped lookup (`MSPASTRY_DEBUG_DROPS`); the
+/// environment is consulted once per process, not once per drop.
+fn debug_drops() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("MSPASTRY_DEBUG_DROPS").is_ok())
+}
+
+/// Sentinel for "not joining" in the endpoint-indexed join-start table.
+const NO_JOIN: u64 = u64::MAX;
+/// Sentinel for "not active" in the endpoint-indexed active-position table.
+const NOT_ACTIVE: u32 = u32::MAX;
 
 /// The lookup workload applied to the overlay.
 #[derive(Debug, Clone)]
@@ -199,14 +214,21 @@ struct Runner {
     rng: SmallRng,
     nodes: Vec<Option<Node>>,
     node_ids: Vec<NodeId>,
-    ep_of_id: HashMap<u128, EndpointId>,
+    ep_of_id: FxHashMap<u128, EndpointId>,
     ep_of_session: Vec<Option<EndpointId>>,
     session_of_ep: Vec<usize>,
     session_state: Vec<SessionState>,
     active_list: Vec<EndpointId>,
-    active_pos: HashMap<EndpointId, usize>,
-    join_started: HashMap<EndpointId, u64>,
-    src_ep: HashMap<mspastry::LookupId, EndpointId>,
+    /// Position of each endpoint in `active_list` (`NOT_ACTIVE` if absent),
+    /// indexed by endpoint id.
+    active_pos: Vec<u32>,
+    /// Join start time per endpoint (`NO_JOIN` once activated), indexed by
+    /// endpoint id.
+    join_started: Vec<u64>,
+    src_ep: FxHashMap<mspastry::LookupId, EndpointId>,
+    /// Reusable action buffer for `dispatch`, swapped into the per-event
+    /// `Effects` so the hot loop never allocates one.
+    fx_buf: Vec<Action>,
     scripted: Vec<ScriptedLookup>,
     skipped_scripted: u64,
     deliveries: Vec<DeliveryRecord>,
@@ -240,14 +262,15 @@ impl Runner {
             rng,
             nodes: Vec::new(),
             node_ids: Vec::new(),
-            ep_of_id: HashMap::new(),
+            ep_of_id: FxHashMap::default(),
             ep_of_session: vec![None; n_sessions],
             session_of_ep: Vec::new(),
             session_state: vec![SessionState::Pending; n_sessions],
             active_list: Vec::new(),
-            active_pos: HashMap::new(),
-            join_started: HashMap::new(),
-            src_ep: HashMap::new(),
+            active_pos: Vec::new(),
+            join_started: Vec::new(),
+            src_ep: FxHashMap::default(),
+            fx_buf: Vec::new(),
             scripted,
             skipped_scripted: 0,
             deliveries: Vec::new(),
@@ -273,8 +296,7 @@ impl Runner {
         let spread = self.cfg.warmup_us * 4 / 5;
         let k = initial.len().max(1) as u64;
         for (n, &i) in initial.iter().enumerate() {
-            self.queue
-                .schedule_at(n as u64 * spread / k, Ev::Join(i));
+            self.queue.schedule_at(n as u64 * spread / k, Ev::Join(i));
         }
         for (t, ev) in self.cfg.trace.events() {
             match ev {
@@ -292,7 +314,7 @@ impl Runner {
             self.queue
                 .schedule_at(s.at_us + self.cfg.warmup_us, Ev::Scripted(i));
         }
-        for &(start, end) in &self.cfg.outages.clone() {
+        for &(start, end) in &self.cfg.outages {
             assert!(start < end, "outage must start before it ends");
             self.queue
                 .schedule_at(start + self.cfg.warmup_us, Ev::Outage(true));
@@ -351,7 +373,11 @@ impl Runner {
             trace_name: self.cfg.trace.name().to_string(),
             topology_name: self.net.topology().name(),
             final_active,
-            mean_t_rt_us: if trt_n > 0 { trt_sum / trt_n as f64 } else { 0.0 },
+            mean_t_rt_us: if trt_n > 0 {
+                trt_sum / trt_n as f64
+            } else {
+                0.0
+            },
             sim_events: self.sim_events,
             skipped_scripted: self.skipped_scripted,
             ring_defects,
@@ -373,11 +399,7 @@ impl Runner {
     /// Compares every active node's immediate leaf-set neighbours with the
     /// true ring (sorted active identifiers).
     fn count_ring_defects(&self) -> u64 {
-        let mut ids: Vec<NodeId> = self
-            .active_list
-            .iter()
-            .map(|&e| self.node_ids[e])
-            .collect();
+        let mut ids: Vec<NodeId> = self.active_list.iter().map(|&e| self.node_ids[e]).collect();
         if ids.len() < 2 {
             return 0;
         }
@@ -408,12 +430,14 @@ impl Runner {
         let ep = self.net.add_endpoint();
         let id = Id::random(&mut self.rng);
         debug_assert_eq!(ep, self.nodes.len());
-        self.nodes.push(Some(Node::new(id, self.cfg.protocol.clone())));
+        self.nodes
+            .push(Some(Node::new(id, self.cfg.protocol.clone())));
         self.node_ids.push(id);
         self.session_of_ep.push(session);
+        self.active_pos.push(NOT_ACTIVE);
+        self.join_started.push(now);
         self.ep_of_id.insert(id.0, ep);
         self.ep_of_session[session] = Some(ep);
-        self.join_started.insert(ep, now);
         let seed = self.pick_seed(ep);
         self.dispatch(now, ep, Event::Join { seed });
     }
@@ -425,13 +449,19 @@ impl Runner {
             let ep = self.active_list[self.rng.gen_range(0..self.active_list.len())];
             return Some(self.node_ids[ep]);
         }
-        let alive: Vec<EndpointId> = (0..self.nodes.len())
-            .filter(|&e| e != joiner && self.nodes[e].is_some())
-            .collect();
-        if alive.is_empty() {
+        // Rare fallback (no active node yet): draw the k-th alive node by a
+        // counting pass instead of materialising the alive set.
+        let alive = |e: &usize| *e != joiner && self.nodes[*e].is_some();
+        let n_alive = (0..self.nodes.len()).filter(alive).count();
+        if n_alive == 0 {
             None
         } else {
-            Some(self.node_ids[alive[self.rng.gen_range(0..alive.len())]])
+            let k = self.rng.gen_range(0..n_alive);
+            let ep = (0..self.nodes.len())
+                .filter(alive)
+                .nth(k)
+                .expect("k < n_alive");
+            Some(self.node_ids[ep])
         }
     }
 
@@ -463,11 +493,12 @@ impl Runner {
     }
 
     fn remove_active(&mut self, ep: EndpointId) {
-        if let Some(pos) = self.active_pos.remove(&ep) {
+        let pos = std::mem::replace(&mut self.active_pos[ep], NOT_ACTIVE);
+        if pos != NOT_ACTIVE {
             let last = self.active_list.pop().unwrap();
             if last != ep {
-                self.active_list[pos] = last;
-                self.active_pos.insert(last, pos);
+                self.active_list[pos as usize] = last;
+                self.active_pos[last] = pos;
             }
         }
     }
@@ -516,14 +547,21 @@ impl Runner {
         let Some(node) = self.nodes[ep].as_mut() else {
             return;
         };
-        let mut fx = Effects::new();
+        // Hand the node the runner's scratch buffer instead of a fresh
+        // allocation per event; `apply` never re-enters `dispatch`, so the
+        // round-trip is safe.
+        let mut fx = Effects {
+            actions: std::mem::take(&mut self.fx_buf),
+        };
         node.handle(now, event, &mut fx);
-        let actions = fx.drain();
-        self.apply(now, ep, actions);
+        let mut actions = fx.drain();
+        self.apply(now, ep, &mut actions);
+        actions.clear();
+        self.fx_buf = actions;
     }
 
-    fn apply(&mut self, now: u64, ep: EndpointId, actions: Vec<Action>) {
-        for a in actions {
+    fn apply(&mut self, now: u64, ep: EndpointId, actions: &mut Vec<Action>) {
+        for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => self.apply_send(now, ep, to, msg),
                 Action::SetTimer { delay_us, kind } => {
@@ -570,28 +608,26 @@ impl Runner {
                     if !self.oracle.contains(id) {
                         self.oracle.insert(id);
                         self.metrics.set_active_delta(now, 1);
-                        self.active_pos.insert(ep, self.active_list.len());
+                        self.active_pos[ep] = self.active_list.len() as u32;
                         self.active_list.push(ep);
                         self.activations.push((self.session_of_ep[ep], now));
-                        if let Some(start) = self.join_started.remove(&ep) {
-                            if now >= self.cfg.warmup_us {
-                                self.metrics.on_join_latency(now - start);
-                            }
+                        let start = std::mem::replace(&mut self.join_started[ep], NO_JOIN);
+                        if start != NO_JOIN && now >= self.cfg.warmup_us {
+                            self.metrics.on_join_latency(now - start);
                         }
                         if let Workload::Poisson {
                             rate_per_node_per_sec,
                         } = self.cfg.workload
                         {
-                            let first = now
-                                .max(self.cfg.warmup_us)
-                                .saturating_add(exp_interval_us(&mut self.rng, rate_per_node_per_sec));
-                            self.queue
-                                .schedule_at(first, Ev::NextLookup { node: ep });
+                            let first = now.max(self.cfg.warmup_us).saturating_add(
+                                exp_interval_us(&mut self.rng, rate_per_node_per_sec),
+                            );
+                            self.queue.schedule_at(first, Ev::NextLookup { node: ep });
                         }
                     }
                 }
                 Action::LookupDropped { reason, .. } => {
-                    if std::env::var("MSPASTRY_DEBUG_DROPS").is_ok() {
+                    if debug_drops() {
                         eprintln!("drop at t={now} reason={reason:?}");
                     }
                     self.metrics.on_drop_report()
@@ -678,8 +714,10 @@ mod tests {
     fn exp_interval_mean_matches_rate() {
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 20_000;
-        let mean_us: f64 =
-            (0..n).map(|_| exp_interval_us(&mut rng, 0.5) as f64).sum::<f64>() / n as f64;
+        let mean_us: f64 = (0..n)
+            .map(|_| exp_interval_us(&mut rng, 0.5) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean_us / 2e6 - 1.0).abs() < 0.05, "mean {mean_us}");
     }
 

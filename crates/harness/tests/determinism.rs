@@ -1,0 +1,46 @@
+//! The simulator is a measurement instrument: every figure in the paper
+//! reproduction depends on runs being exactly repeatable. This test pins the
+//! property end to end — same `RunConfig`, same seed, twice, field-for-field
+//! identical `Report`s — so hot-path changes (event queue, hashing, buffer
+//! reuse) cannot silently perturb event order.
+
+use churn::poisson::{self, PoissonParams};
+use harness::{run, RunConfig};
+use topology::TopologyKind;
+
+const MIN: u64 = 60 * 1_000_000;
+
+fn cfg(seed: u64) -> RunConfig {
+    let trace = poisson::trace(&PoissonParams {
+        mean_nodes: 60.0,
+        mean_session_us: 30.0 * 60e6,
+        duration_us: 25 * MIN,
+        seed,
+    });
+    let mut cfg = RunConfig::new(trace);
+    cfg.topology = TopologyKind::GaTechTiny;
+    cfg.warmup_us = 8 * MIN;
+    cfg.metrics_window_us = 5 * MIN;
+    cfg.network_loss_rate = 0.02; // exercise drop/retransmit paths too
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn identical_configs_produce_identical_reports() {
+    for seed in [3, 17] {
+        let a = run(cfg(seed));
+        let b = run(cfg(seed));
+        assert!(
+            a.report.issued > 100,
+            "workload too small to be meaningful: issued {}",
+            a.report.issued
+        );
+        assert_eq!(a.report, b.report, "seed {seed}: reports diverged");
+        assert_eq!(
+            a.deliveries.len(),
+            b.deliveries.len(),
+            "seed {seed}: delivery records diverged"
+        );
+    }
+}

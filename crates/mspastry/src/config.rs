@@ -137,7 +137,7 @@ impl Config {
         if !(1..=8).contains(&self.b) {
             return Err(format!("b must be in 1..=8, got {}", self.b));
         }
-        if self.leaf_set_size < 2 || self.leaf_set_size % 2 != 0 {
+        if self.leaf_set_size < 2 || !self.leaf_set_size.is_multiple_of(2) {
             return Err(format!(
                 "leaf set size must be even and >= 2, got {}",
                 self.leaf_set_size
@@ -184,17 +184,25 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_values() {
-        let mut c = Config::default();
-        c.b = 0;
+        let c = Config {
+            b: 0,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = Config::default();
-        c.leaf_set_size = 7;
+        let c = Config {
+            leaf_set_size: 7,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = Config::default();
-        c.target_raw_loss = 0.0;
+        let c = Config {
+            target_raw_loss: 0.0,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = Config::default();
-        c.target_raw_loss = 1.5;
+        let c = Config {
+            target_raw_loss: 1.5,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -1,0 +1,140 @@
+//! A fast non-cryptographic hasher for simulator-internal keys.
+//!
+//! The protocol state machine and the harness key hash maps by node
+//! identifiers (random 128-bit values) and lookup ids (node id + sequence
+//! number) on the per-event hot path. The standard library's default SipHash
+//! pays for DoS resistance the simulator does not need — all keys are
+//! generated internally from a seeded RNG. This is the multiply-rotate scheme
+//! used by the Rust compiler itself ("FxHash"): a couple of arithmetic
+//! instructions per 8-byte word.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplier from the rustc hasher (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-rotate hasher. Not DoS resistant by design.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`]s.
+#[derive(Debug, Default, Clone)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        assert_eq!(hash_of(&42u128), hash_of(&42u128));
+        assert_eq!(hash_of(&(7u64, 9u64)), hash_of(&(7u64, 9u64)));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u128 {
+            seen.insert(hash_of(&(i << 64 | i)));
+        }
+        assert!(seen.len() > 9_990, "only {} distinct hashes", seen.len());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u128, usize> = FxHashMap::default();
+        for i in 0..1000u128 {
+            m.insert(i * 31, i as usize);
+        }
+        for i in 0..1000u128 {
+            assert_eq!(m.get(&(i * 31)), Some(&(i as usize)));
+        }
+    }
+
+    #[test]
+    fn partial_writes_cover_all_bytes() {
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+        assert_ne!(
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9][..]),
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10][..])
+        );
+    }
+}

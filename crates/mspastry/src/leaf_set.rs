@@ -79,15 +79,25 @@ impl LeafSet {
         self.right.last().copied()
     }
 
+    /// Iterates over all distinct members without allocating (a node can sit
+    /// on both sides in a small overlay; such duplicates are yielded once).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        // A node appears on both sides only when the set wraps the ring
+        // (`overlap`), so the dedup scan is skipped entirely in the common
+        // large-overlay case.
+        self.left.iter().copied().chain(
+            self.right
+                .iter()
+                .copied()
+                .filter(move |r| !self.overlap || !self.left.contains(r)),
+        )
+    }
+
     /// All distinct members (a node can sit on both sides in a small
     /// overlay).
     pub fn members(&self) -> Vec<NodeId> {
-        let mut m = self.left.clone();
-        for &r in &self.right {
-            if !m.contains(&r) {
-                m.push(r);
-            }
-        }
+        let mut m = Vec::with_capacity(self.left.len() + self.right.len());
+        m.extend(self.iter());
         m
     }
 
@@ -108,8 +118,22 @@ impl LeafSet {
         }
         let ccw = self.own.ccw_dist(id);
         let cw = self.own.cw_dist(id);
-        let l = Self::insert_side(&mut self.left, id, ccw, self.half, |o, n| o.ccw_dist(n), self.own);
-        let r = Self::insert_side(&mut self.right, id, cw, self.half, |o, n| o.cw_dist(n), self.own);
+        let l = Self::insert_side(
+            &mut self.left,
+            id,
+            ccw,
+            self.half,
+            |o, n| o.ccw_dist(n),
+            self.own,
+        );
+        let r = Self::insert_side(
+            &mut self.right,
+            id,
+            cw,
+            self.half,
+            |o, n| o.cw_dist(n),
+            self.own,
+        );
         if l || r {
             self.recompute_overlap();
         }
@@ -167,25 +191,80 @@ impl LeafSet {
     /// for the single open slot, but only the closest one can end up in the
     /// set.
     pub fn useful_candidates(&self, candidates: &[NodeId]) -> Vec<NodeId> {
+        self.useful_candidates_filtered(candidates, |_| true)
+    }
+
+    /// [`LeafSet::useful_candidates`] with an admissibility pre-filter, so
+    /// callers can pass a raw peer leaf set without first collecting the
+    /// eligible subset into a temporary vector.
+    pub fn useful_candidates_filtered(
+        &self,
+        candidates: &[NodeId],
+        eligible: impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
         let mut useful: Vec<NodeId> = Vec::new();
-        for (side, dist_of) in [
-            (&self.left, &(|n: NodeId| self.own.ccw_dist(n)) as &dyn Fn(NodeId) -> u128),
-            (&self.right, &|n: NodeId| self.own.cw_dist(n)),
-        ] {
-            let mut merged: Vec<(u128, NodeId, bool)> = side
-                .iter()
-                .map(|&m| (dist_of(m), m, false))
-                .collect();
-            for &c in candidates {
-                if c != self.own && !self.contains(c) && !merged.iter().any(|&(_, m, _)| m == c) {
-                    merged.push((dist_of(c), c, true));
-                }
+        let ccw = |n: NodeId| self.own.ccw_dist(n);
+        let cw = |n: NodeId| self.own.cw_dist(n);
+        // Ring distances from a fixed origin are injective and both sides are
+        // kept sorted by distance, so membership testing is a binary search,
+        // and a candidate beyond the span of both (full) sides cannot join
+        // either would-be set and is dropped outright. In a stable overlay
+        // almost every candidate is already a member, making this the hot
+        // path: no allocation happens until something is actually admissible.
+        let left_full = self.left.len() == self.half;
+        let right_full = self.right.len() == self.half;
+        let mut adm: Vec<(NodeId, u128, u128)> = Vec::new();
+        for &c in candidates {
+            if c == self.own || !eligible(c) {
+                continue;
             }
-            merged.sort_unstable();
-            for &(_, id, is_candidate) in merged.iter().take(self.half) {
-                if is_candidate && !useful.contains(&id) {
-                    useful.push(id);
+            let dc = ccw(c);
+            let dw = cw(c);
+            if left_full
+                && right_full
+                && dc > ccw(*self.left.last().expect("full side"))
+                && dw > cw(*self.right.last().expect("full side"))
+            {
+                continue;
+            }
+            if self.left.binary_search_by(|&m| ccw(m).cmp(&dc)).is_ok()
+                || self.right.binary_search_by(|&m| cw(m).cmp(&dw)).is_ok()
+            {
+                continue;
+            }
+            adm.push((c, dc, dw));
+        }
+        if adm.is_empty() {
+            return useful;
+        }
+        let mut cand: Vec<(u128, NodeId)> = Vec::with_capacity(adm.len());
+        for left_side in [true, false] {
+            let side = if left_side { &self.left } else { &self.right };
+            cand.clear();
+            cand.extend(
+                adm.iter()
+                    .map(|&(c, dc, dw)| (if left_side { dc } else { dw }, c)),
+            );
+            // Distinct ids have distinct ring distances from `own`, so the
+            // sort order is total and duplicate candidates are adjacent.
+            cand.sort_unstable();
+            cand.dedup();
+            // `side` is kept sorted by distance, so merging it with the
+            // sorted candidates enumerates the would-be leaf set in order;
+            // candidates among the first `half` merged entries survive.
+            let dist_of = |n: NodeId| if left_side { ccw(n) } else { cw(n) };
+            let (mut si, mut ci, mut taken) = (0usize, 0usize, 0usize);
+            while taken < self.half && ci < cand.len() {
+                if si < side.len() && dist_of(side[si]) < cand[ci].0 {
+                    si += 1;
+                } else {
+                    let id = cand[ci].1;
+                    if !useful.contains(&id) {
+                        useful.push(id);
+                    }
+                    ci += 1;
                 }
+                taken += 1;
             }
         }
         useful
@@ -384,6 +463,66 @@ mod tests {
         assert!(s.would_admit(Id(1005)));
         assert!(!s.would_admit(Id(1010)), "already a member");
         assert!(!s.would_admit(Id(1000)), "own id");
+    }
+
+    #[test]
+    fn useful_candidates_matches_naive_merge_oracle() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        // Reference implementation: merge each side with every admissible
+        // candidate, sort, and keep candidates landing in the first `half`.
+        fn naive(s: &LeafSet, candidates: &[NodeId]) -> Vec<NodeId> {
+            let mut useful: Vec<NodeId> = Vec::new();
+            for (side, dist_of) in [
+                (
+                    &s.left,
+                    &(|n: NodeId| s.own.ccw_dist(n)) as &dyn Fn(NodeId) -> u128,
+                ),
+                (&s.right, &|n: NodeId| s.own.cw_dist(n)),
+            ] {
+                let mut merged: Vec<(u128, NodeId, bool)> =
+                    side.iter().map(|&m| (dist_of(m), m, false)).collect();
+                for &c in candidates {
+                    if c != s.own && !s.contains(c) && !merged.iter().any(|&(_, m, _)| m == c) {
+                        merged.push((dist_of(c), c, true));
+                    }
+                }
+                merged.sort_unstable();
+                for &(_, id, is_candidate) in merged.iter().take(s.half) {
+                    if is_candidate && !useful.contains(&id) {
+                        useful.push(id);
+                    }
+                }
+            }
+            useful
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        for round in 0..200 {
+            let own = Id::random(&mut rng);
+            let mut s = LeafSet::new(own, 1 + round % 5);
+            for _ in 0..(round % 12) {
+                s.add(Id::random(&mut rng));
+            }
+            let mut candidates: Vec<NodeId> =
+                (0..(round % 9)).map(|_| Id::random(&mut rng)).collect();
+            // Throw in duplicates, members and the node's own id.
+            if let Some(&m) = s.left().first() {
+                candidates.push(m);
+            }
+            if let Some(&c) = candidates.first() {
+                candidates.push(c);
+            }
+            candidates.push(own);
+            assert_eq!(s.useful_candidates(&candidates), naive(&s, &candidates));
+        }
+    }
+
+    #[test]
+    fn iter_matches_members() {
+        let mut s = ls(0, 2);
+        s.add(Id(1 << 100));
+        s.add(Id(5));
+        assert_eq!(s.iter().collect::<Vec<_>>(), s.members());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod codec;
 pub mod config;
 pub mod diag;
 pub mod events;
+pub mod fxhash;
 pub mod id;
 pub mod leaf_set;
 pub mod messages;

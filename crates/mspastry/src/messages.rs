@@ -214,11 +214,20 @@ impl Message {
                 }
             }
             Ack { .. } => Category::AckRetransmit,
-            JoinRequest { .. } | JoinReply { .. } | NnLeafSetRequest | NnLeafSetReply { .. }
-            | NnRowRequest { .. } | NnRowReply { .. } => Category::Join,
+            JoinRequest { .. }
+            | JoinReply { .. }
+            | NnLeafSetRequest
+            | NnLeafSetReply { .. }
+            | NnRowRequest { .. }
+            | NnRowReply { .. } => Category::Join,
             LsProbe { .. } | LsProbeReply { .. } | Heartbeat { .. } | Leaving => Category::LeafSet,
-            RtProbe { .. } | RtProbeReply { .. } | RtRowRequest { .. } | RtRowReply { .. }
-            | RtRowAnnounce { .. } | RtSlotRequest { .. } | RtSlotReply { .. } => Category::RtProbe,
+            RtProbe { .. }
+            | RtProbeReply { .. }
+            | RtRowRequest { .. }
+            | RtRowReply { .. }
+            | RtRowAnnounce { .. }
+            | RtSlotRequest { .. }
+            | RtSlotReply { .. } => Category::RtProbe,
             DistanceProbe { .. } | DistanceProbeReply { .. } | DistanceReport { .. } => {
                 Category::DistanceProbe
             }
@@ -268,10 +277,7 @@ mod tests {
 
     fn lookup(is_retransmit: bool) -> Message {
         Message::Lookup {
-            id: LookupId {
-                src: Id(1),
-                seq: 0,
-            },
+            id: LookupId { src: Id(1), seq: 0 },
             key: Id(2),
             payload: 0,
             hops: 0,
@@ -303,10 +309,7 @@ mod tests {
         assert_eq!(Message::NnLeafSetRequest.category(), Category::Join);
         assert_eq!(
             Message::Ack {
-                id: LookupId {
-                    src: Id(1),
-                    seq: 2
-                }
+                id: LookupId { src: Id(1), seq: 2 }
             }
             .category(),
             Category::AckRetransmit

@@ -6,8 +6,8 @@
 //! nearest-neighbour algorithm uses a *single* probe per candidate to reduce
 //! join latency; the remaining measurements use more samples.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::id::NodeId;
-use std::collections::{HashMap, HashSet};
 
 /// Why a distance is being measured; decides what happens with the result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +55,7 @@ pub enum MeasureTimeout {
 /// Manages a node's distance measurements.
 #[derive(Debug, Clone, Default)]
 pub struct DistanceMeasurer {
-    inflight: HashMap<NodeId, Measurement>,
+    inflight: FxHashMap<NodeId, Measurement>,
     next_nonce: u64,
 }
 
@@ -231,8 +231,8 @@ pub struct NnState {
     current: NodeId,
     current_dist: u64,
     phase: NnPhase,
-    awaiting: HashSet<NodeId>,
-    dists: HashMap<NodeId, u64>,
+    awaiting: FxHashSet<NodeId>,
+    dists: FxHashMap<NodeId, u64>,
 }
 
 impl NnState {
@@ -242,8 +242,8 @@ impl NnState {
             current: seed,
             current_dist: u64::MAX,
             phase: NnPhase::LeafSet,
-            awaiting: HashSet::new(),
-            dists: HashMap::new(),
+            awaiting: FxHashSet::default(),
+            dists: FxHashMap::default(),
         }
     }
 
@@ -254,7 +254,7 @@ impl NnState {
 
     /// All candidate distances measured during discovery (useful to seed the
     /// routing table with real proximity values).
-    pub fn measured(&self) -> &HashMap<NodeId, u64> {
+    pub fn measured(&self) -> &FxHashMap<NodeId, u64> {
         &self.dists
     }
 
@@ -327,7 +327,11 @@ impl NnState {
                 if row == 0 {
                     NnStep::Finished(self.current)
                 } else {
-                    let next = if row == usize::MAX { usize::MAX } else { row - 1 };
+                    let next = if row == usize::MAX {
+                        usize::MAX
+                    } else {
+                        row - 1
+                    };
                     NnStep::AskRow(self.current, next)
                 }
             }
@@ -359,7 +363,9 @@ mod tests {
     fn duplicate_start_is_rejected() {
         let mut dm = DistanceMeasurer::new();
         assert!(dm.start(Id(1), MeasurePurpose::ConsiderRt, 3, 0).is_some());
-        assert!(dm.start(Id(1), MeasurePurpose::NearestNeighbor, 1, 0).is_none());
+        assert!(dm
+            .start(Id(1), MeasurePurpose::NearestNeighbor, 1, 0)
+            .is_none());
     }
 
     #[test]
@@ -376,7 +382,9 @@ mod tests {
     #[test]
     fn timeout_retries_once_then_abandons() {
         let mut dm = DistanceMeasurer::new();
-        let n = dm.start(Id(1), MeasurePurpose::NearestNeighbor, 1, 0).unwrap();
+        let n = dm
+            .start(Id(1), MeasurePurpose::NearestNeighbor, 1, 0)
+            .unwrap();
         let MeasureTimeout::Retry(n2) = dm.on_timeout(Id(1), n, 10) else {
             panic!("expected retry");
         };

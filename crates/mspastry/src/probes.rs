@@ -5,8 +5,8 @@
 //! and leaf-set repair); liveness probes of routing-table entries only detect
 //! failures.
 
+use crate::fxhash::FxHashMap;
 use crate::id::NodeId;
-use std::collections::HashMap;
 
 /// What a probe is for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +48,7 @@ pub enum TimeoutVerdict {
 /// Tracks a node's outstanding probes.
 #[derive(Debug, Clone, Default)]
 pub struct ProbeManager {
-    outstanding: HashMap<NodeId, ProbeState>,
+    outstanding: FxHashMap<NodeId, ProbeState>,
 }
 
 impl ProbeManager {
@@ -92,7 +92,13 @@ impl ProbeManager {
     }
 
     /// Handles a timeout for `(target, attempt)`.
-    pub fn on_timeout(&mut self, target: NodeId, attempt: u32, max_retries: u32, now_us: u64) -> TimeoutVerdict {
+    pub fn on_timeout(
+        &mut self,
+        target: NodeId,
+        attempt: u32,
+        max_retries: u32,
+        now_us: u64,
+    ) -> TimeoutVerdict {
         match self.outstanding.get_mut(&target) {
             Some(st) if st.attempt == attempt => {
                 if attempt < max_retries {

@@ -64,10 +64,7 @@ pub fn route(
     // strictly closer to the key that preserves the prefix length.
     let own_dist = own.ring_dist(key);
     let mut best: Option<(usize, u128, NodeId)> = None;
-    let candidates = rt
-        .entries()
-        .map(|e| e.id)
-        .chain(ls.members().into_iter());
+    let candidates = rt.entries().map(|e| e.id).chain(ls.members());
     for j in candidates {
         if excluded(j) || j == own {
             continue;
@@ -86,8 +83,11 @@ pub fn route(
             Some(cur) => {
                 // Prefer longer prefix, then smaller ring distance, then
                 // smaller id for determinism.
-                if (cand.0, std::cmp::Reverse(cand.1), std::cmp::Reverse(cand.2 .0))
-                    > (cur.0, std::cmp::Reverse(cur.1), std::cmp::Reverse(cur.2 .0))
+                if (
+                    cand.0,
+                    std::cmp::Reverse(cand.1),
+                    std::cmp::Reverse(cand.2 .0),
+                ) > (cur.0, std::cmp::Reverse(cur.1), std::cmp::Reverse(cur.2 .0))
                 {
                     cand
                 } else {
@@ -139,10 +139,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(42);
         let n = 64;
         let all: Vec<NodeId> = (0..n).map(|_| Id::random(&mut rng)).collect();
-        let states: Vec<(RoutingTable, LeafSet)> = all
-            .iter()
-            .map(|&o| perfect_state(o, &all, 4, 8))
-            .collect();
+        let states: Vec<(RoutingTable, LeafSet)> =
+            all.iter().map(|&o| perfect_state(o, &all, 4, 8)).collect();
         let index = |id: NodeId| all.iter().position(|&x| x == id).unwrap();
         for k in 0..200 {
             let key = Id::random(&mut rng);
@@ -170,10 +168,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(43);
         let n = 256;
         let all: Vec<NodeId> = (0..n).map(|_| Id::random(&mut rng)).collect();
-        let states: Vec<(RoutingTable, LeafSet)> = all
-            .iter()
-            .map(|&o| perfect_state(o, &all, 4, 8))
-            .collect();
+        let states: Vec<(RoutingTable, LeafSet)> =
+            all.iter().map(|&o| perfect_state(o, &all, 4, 8)).collect();
         let index = |id: NodeId| all.iter().position(|&x| x == id).unwrap();
         let mut total_hops = 0usize;
         let trials = 200;
@@ -252,7 +248,10 @@ mod tests {
         let own = Id(5);
         let rt = RoutingTable::new(own, 4);
         let ls = LeafSet::new(own, 2);
-        assert_eq!(route(&rt, &ls, Id(u128::MAX / 2), &|_| false), NextHop::Local);
+        assert_eq!(
+            route(&rt, &ls, Id(u128::MAX / 2), &|_| false),
+            NextHop::Local
+        );
     }
 
     #[test]

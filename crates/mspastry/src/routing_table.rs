@@ -305,6 +305,9 @@ mod tests {
             rt.offer(Id::random(&mut rng), 100);
         }
         let occ = rt.occupied_rows().len();
-        assert!((2..=6).contains(&occ), "occupied rows {occ} for N=1000, b=4");
+        assert!(
+            (2..=6).contains(&occ),
+            "occupied rows {occ} for N=1000, b=4"
+        );
     }
 }

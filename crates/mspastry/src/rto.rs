@@ -5,8 +5,8 @@
 //! last, so an occasional spurious retransmission merely exercises a
 //! redundant route, whereas a conservative timeout would inflate delay.
 
+use crate::fxhash::FxHashMap;
 use crate::id::NodeId;
-use std::collections::HashMap;
 
 /// Jacobson-style smoothed RTT estimator for one peer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,7 +67,7 @@ impl Default for RtoEstimator {
 /// RTO estimators for all peers of a node, with size-bounded pruning.
 #[derive(Debug, Clone, Default)]
 pub struct RtoTable {
-    peers: HashMap<NodeId, RtoEstimator>,
+    peers: FxHashMap<NodeId, RtoEstimator>,
 }
 
 impl RtoTable {

@@ -16,9 +16,10 @@
 //! adopting the median of the estimates piggybacked by other nodes.
 
 use crate::config::Config;
+use crate::fxhash::FxHashMap;
 use crate::id::NodeId;
 use crate::leaf_set::LeafSet;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Probability of forwarding to a faulty node at one hop, given maximum
 /// detection time `t_us` and failure rate `mu` (failures per node per
@@ -82,22 +83,39 @@ pub fn solve_t_rt(cfg: &Config, mu: f64, n: f64) -> u64 {
         return floor;
     }
     let p_rt_target = 1.0 - ratio.powf(1.0 / (h - 1.0));
-    // Invert Pf(T + retr, µ) = p_rt_target by bisection (Pf is increasing in
-    // T).
-    let mut lo = 0.0f64;
-    let mut hi = T_RT_MAX_US as f64;
-    if pf(hi + retr, mu) <= p_rt_target {
+    if pf(T_RT_MAX_US as f64 + retr, mu) <= p_rt_target {
         return T_RT_MAX_US;
     }
-    for _ in 0..64 {
-        let mid = (lo + hi) / 2.0;
-        if pf(mid + retr, mu) < p_rt_target {
-            lo = mid;
+    // Invert Pf(T + retr, µ) = p_rt_target. In x := (T + retr)·µ space the
+    // equation is f(x) = 1 − (1 − e⁻ˣ)/x = p, solved by safeguarded Newton:
+    // f is increasing, f(x) ≈ x/2 near 0 and ≈ 1 − 1/x for large x, giving
+    // the bracket-free initial guess below. This runs on every node's
+    // self-tuning tick, and Newton needs ~5 exponentials where the previous
+    // bisection needed 64.
+    let p = p_rt_target;
+    let x_max = (T_RT_MAX_US as f64 + retr) * mu;
+    let mut x = (2.0 * p / (1.0 - p)).min(x_max);
+    for _ in 0..32 {
+        let (fx, dfx) = if x < 1e-6 {
+            (x / 2.0 - x * x / 6.0, 0.5 - x / 3.0)
         } else {
-            hi = mid;
+            let e = (-x).exp();
+            (1.0 - (1.0 - e) / x, ((1.0 - e) - x * e) / (x * x))
+        };
+        let step = (fx - p) / dfx;
+        x -= step;
+        if !x.is_finite() || x <= 0.0 {
+            x = f64::MIN_POSITIVE.max(p); // safeguard; next iteration re-approaches
+            continue;
+        }
+        // Converged once the step is far below the microsecond granularity
+        // the result is truncated to.
+        if step.abs() / mu < 0.25 {
+            break;
         }
     }
-    (hi as u64).clamp(floor, T_RT_MAX_US)
+    let t = x / mu - retr;
+    (t as u64).clamp(floor, T_RT_MAX_US)
 }
 
 /// Estimates the overlay size from the density of nodeIds in the leaf set.
@@ -179,7 +197,7 @@ impl FailureHistory {
 #[derive(Debug, Clone)]
 pub struct SelfTuner {
     history: FailureHistory,
-    hints: HashMap<NodeId, u64>,
+    hints: FxHashMap<NodeId, u64>,
     local_t_rt_us: u64,
 }
 
@@ -188,7 +206,7 @@ impl SelfTuner {
     pub fn new(cfg: &Config, joined_at_us: u64) -> Self {
         SelfTuner {
             history: FailureHistory::new(cfg.failure_history_len, joined_at_us),
-            hints: HashMap::new(),
+            hints: FxHashMap::default(),
             local_t_rt_us: cfg.fixed_t_rt_us,
         }
     }
@@ -295,6 +313,57 @@ mod tests {
     }
 
     #[test]
+    fn newton_solver_matches_bisection_oracle() {
+        // The pre-Newton implementation: invert Pf by 64-step bisection.
+        fn bisect(cfg: &Config, mu: f64, n: f64) -> u64 {
+            let floor = cfg.t_rt_floor_us();
+            if mu <= 0.0 || n <= 1.0 {
+                return T_RT_MAX_US;
+            }
+            let h = expected_hops(n, cfg.b);
+            let retr = (cfg.max_probe_retries + 1) as f64 * cfg.t_o_us as f64;
+            let p_ls = pf(cfg.t_ls_us as f64 + retr, mu);
+            if h <= 1.0 {
+                return T_RT_MAX_US;
+            }
+            let ratio = (1.0 - cfg.target_raw_loss) / (1.0 - p_ls).max(f64::MIN_POSITIVE);
+            if ratio >= 1.0 {
+                return floor;
+            }
+            let p_rt_target = 1.0 - ratio.powf(1.0 / (h - 1.0));
+            let mut lo = 0.0f64;
+            let mut hi = T_RT_MAX_US as f64;
+            if pf(hi + retr, mu) <= p_rt_target {
+                return T_RT_MAX_US;
+            }
+            for _ in 0..64 {
+                let mid = (lo + hi) / 2.0;
+                if pf(mid + retr, mu) < p_rt_target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            (hi as u64).clamp(floor, T_RT_MAX_US)
+        }
+        let cfg = Config::default();
+        for n in [1.5, 2.0, 8.0, 50.0, 500.0, 2000.0, 50_000.0] {
+            for e in -10..=-2 {
+                let mu = 10f64.powi(e); // failures per node-µs
+                let want = bisect(&cfg, mu, n);
+                let got = solve_t_rt(&cfg, mu, n);
+                // Allow a sliver of slack: bisection itself is only exact to
+                // its final interval width.
+                let tol = (want / 10_000).max(2);
+                assert!(
+                    got.abs_diff(want) <= tol,
+                    "mu=1e{e} n={n}: newton {got} vs bisection {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn solve_t_rt_is_decreasing_in_mu() {
         let cfg = Config::default();
         let n = 2000.0;
@@ -320,7 +389,10 @@ mod tests {
         let t5 = solve_t_rt(&cfg, mu, 2000.0);
         cfg.target_raw_loss = 0.01;
         let t1 = solve_t_rt(&cfg, mu, 2000.0);
-        assert!(t1 < t5, "1% target must probe faster than 5% ({t1} vs {t5})");
+        assert!(
+            t1 < t5,
+            "1% target must probe faster than 5% ({t1} vs {t5})"
+        );
     }
 
     #[test]

@@ -86,7 +86,8 @@ pub fn generate(params: &AsGraphParams) -> AsGraph {
     let mut as_routers: Vec<Vec<RouterId>> = Vec::new();
     let total_ases = params.core_ases + params.mid_ases + params.stub_ases;
     for _ in 0..total_ases {
-        let k = rng.gen_range(params.routers_per_as.saturating_sub(2).max(2)..=params.routers_per_as + 2);
+        let k = rng
+            .gen_range(params.routers_per_as.saturating_sub(2).max(2)..=params.routers_per_as + 2);
         let routers: Vec<RouterId> = (0..k).map(|_| g.add_router()).collect();
         // Connected random intra-AS graph (random spanning tree + chords).
         for i in 1..k {

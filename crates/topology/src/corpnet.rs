@@ -171,7 +171,10 @@ mod tests {
                 }
             }
         }
-        assert!(near > 0 && far > 0, "expected both campus-local and WAN pairs");
+        assert!(
+            near > 0 && far > 0,
+            "expected both campus-local and WAN pairs"
+        );
     }
 
     #[test]

@@ -119,19 +119,54 @@ impl Graph {
         delay
     }
 
-    /// Computes the all-pairs one-way delay matrix.
+    /// Computes one source row of the delay matrix, clamped to `u32`.
+    fn delay_row(&self, src: RouterId) -> Box<[u32]> {
+        self.shortest_delays_from(src)
+            .into_iter()
+            .map(|d| d.min(u32::MAX as u64) as u32)
+            .collect()
+    }
+
+    /// Computes the all-pairs one-way delay matrix eagerly, running the
+    /// per-source Dijkstra passes across all available cores.
     ///
-    /// Runs one Dijkstra per router; fine up to a few thousand routers.
+    /// The result is identical to a sequential build (each row depends only
+    /// on the graph). For large graphs where the dense matrix itself is the
+    /// problem, use [`DelayMatrix::lazy`] instead.
     pub fn all_pairs_delay(&self) -> DelayMatrix {
         let n = self.adj.len();
         let mut data = vec![0u32; n * n];
-        for src in 0..n {
-            let delays = self.shortest_delays_from(src as RouterId);
-            for (dst, d) in delays.iter().enumerate() {
-                data[src * n + dst] = (*d).min(u32::MAX as u64) as u32;
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if n > 0 && threads > 1 {
+            let rows_per_chunk = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (chunk_idx, chunk) in data.chunks_mut(rows_per_chunk * n).enumerate() {
+                    let first_src = chunk_idx * rows_per_chunk;
+                    s.spawn(move || {
+                        for (i, row) in chunk.chunks_mut(n).enumerate() {
+                            let delays = self.shortest_delays_from((first_src + i) as RouterId);
+                            for (dst, d) in delays.iter().enumerate() {
+                                row[dst] = (*d).min(u32::MAX as u64) as u32;
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            for src in 0..n {
+                let delays = self.shortest_delays_from(src as RouterId);
+                for (dst, d) in delays.iter().enumerate() {
+                    data[src * n + dst] = (*d).min(u32::MAX as u64) as u32;
+                }
             }
         }
-        DelayMatrix { n, data }
+        DelayMatrix {
+            n,
+            table: Table::Dense(data),
+        }
     }
 
     /// Returns `true` if every router can reach every other router.
@@ -156,14 +191,46 @@ impl Graph {
     }
 }
 
-/// Dense matrix of one-way delays between all router pairs, in microseconds.
+/// Backing storage of a [`DelayMatrix`].
+#[derive(Debug, Clone)]
+enum Table {
+    /// Fully materialised `n*n` row-major matrix.
+    Dense(Vec<u32>),
+    /// Rows computed on first use. The paper-scale GATech topology has 5050
+    /// routers — a dense matrix is ~100 MB and ~5000 Dijkstra passes — while
+    /// a run only ever asks about the routers its overlay nodes attach to,
+    /// so the lazy form stores the graph and fills rows on demand.
+    Lazy {
+        graph: Graph,
+        rows: Vec<std::sync::OnceLock<Box<[u32]>>>,
+    },
+}
+
+/// Matrix of one-way delays between all router pairs, in microseconds.
+///
+/// Either dense (precomputed, small graphs) or lazily materialised per source
+/// row (large graphs); lookups are identical in result and deterministic in
+/// either form.
 #[derive(Debug, Clone)]
 pub struct DelayMatrix {
     n: usize,
-    data: Vec<u32>,
+    table: Table,
 }
 
 impl DelayMatrix {
+    /// Wraps `graph` as a lazily materialised delay matrix: no shortest-path
+    /// work happens until a source router's row is first queried.
+    pub fn lazy(graph: Graph) -> Self {
+        let n = graph.len();
+        DelayMatrix {
+            n,
+            table: Table::Lazy {
+                graph,
+                rows: (0..n).map(|_| std::sync::OnceLock::new()).collect(),
+            },
+        }
+    }
+
     /// Number of routers covered by the matrix.
     pub fn len(&self) -> usize {
         self.n
@@ -174,6 +241,15 @@ impl DelayMatrix {
         self.n == 0
     }
 
+    /// Number of source rows currently materialised (== `len()` for dense
+    /// matrices). Diagnostic for memory accounting.
+    pub fn rows_materialized(&self) -> usize {
+        match &self.table {
+            Table::Dense(_) => self.n,
+            Table::Lazy { rows, .. } => rows.iter().filter(|r| r.get().is_some()).count(),
+        }
+    }
+
     /// One-way delay from `a` to `b` in microseconds.
     ///
     /// # Panics
@@ -182,10 +258,18 @@ impl DelayMatrix {
     #[inline]
     pub fn delay_us(&self, a: RouterId, b: RouterId) -> u64 {
         assert!((a as usize) < self.n && (b as usize) < self.n);
-        self.data[a as usize * self.n + b as usize] as u64
+        match &self.table {
+            Table::Dense(data) => data[a as usize * self.n + b as usize] as u64,
+            Table::Lazy { graph, rows } => {
+                let row = rows[a as usize].get_or_init(|| graph.delay_row(a));
+                row[b as usize] as u64
+            }
+        }
     }
 
     /// Mean delay over all ordered pairs of distinct routers, in microseconds.
+    ///
+    /// On a lazy matrix this materialises every row.
     pub fn mean_delay_us(&self) -> f64 {
         if self.n < 2 {
             return 0.0;
@@ -194,7 +278,7 @@ impl DelayMatrix {
         for a in 0..self.n {
             for b in 0..self.n {
                 if a != b {
-                    sum += self.data[a * self.n + b] as u64;
+                    sum += self.delay_us(a as RouterId, b as RouterId);
                 }
             }
         }
@@ -265,6 +349,24 @@ mod tests {
         let g = line_graph(2);
         let m = g.all_pairs_delay();
         assert_eq!(m.mean_delay_us(), 1000.0);
+    }
+
+    #[test]
+    fn lazy_matrix_matches_dense() {
+        let mut g = line_graph(8);
+        g.add_edge(0, 7, 3.0, 2500);
+        g.add_edge(2, 5, 1.5, 700);
+        let dense = g.all_pairs_delay();
+        let lazy = DelayMatrix::lazy(g);
+        assert_eq!(lazy.rows_materialized(), 0);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                assert_eq!(dense.delay_us(a, b), lazy.delay_us(a, b));
+            }
+        }
+        assert_eq!(lazy.rows_materialized(), 8);
+        assert_eq!(dense.rows_materialized(), 8);
+        assert_eq!(dense.mean_delay_us(), lazy.mean_delay_us());
     }
 
     #[test]

@@ -70,11 +70,31 @@ pub struct Topology {
     lan_delay_us: u64,
 }
 
+/// Router count above which `Topology::build` keeps the delay matrix lazy
+/// instead of materialising the dense all-pairs form. At 1024 routers the
+/// dense matrix is 4 MB and builds in well under a second on a few cores; at
+/// the paper-scale GATech's 5050 routers it would be ~100 MB and thousands of
+/// Dijkstra passes, almost all of which a simulation never reads.
+pub const DENSE_APSP_LIMIT: usize = 1024;
+
 impl Topology {
+    /// Freezes a router graph into a delay matrix: dense (built in parallel)
+    /// for small graphs, lazily materialised per row above
+    /// [`DENSE_APSP_LIMIT`].
+    fn freeze(graph: Graph) -> DelayMatrix {
+        if graph.len() <= DENSE_APSP_LIMIT {
+            graph.all_pairs_delay()
+        } else {
+            DelayMatrix::lazy(graph)
+        }
+    }
+
     /// Builds the requested topology and precomputes its delay matrix.
     pub fn build(kind: TopologyKind) -> Self {
         match kind {
-            TopologyKind::GaTech => Self::from_transit_stub("GATech", &TransitStubParams::default()),
+            TopologyKind::GaTech => {
+                Self::from_transit_stub("GATech", &TransitStubParams::default())
+            }
             TopologyKind::GaTechSmall => {
                 Self::from_transit_stub("GATech-small", &TransitStubParams::small())
             }
@@ -86,9 +106,7 @@ impl Topology {
                 Self::from_as_graph("Mercator-tiny", &AsGraphParams::tiny())
             }
             TopologyKind::CorpNet => Self::from_corpnet("CorpNet", &CorpNetParams::default()),
-            TopologyKind::CorpNetTiny => {
-                Self::from_corpnet("CorpNet-tiny", &CorpNetParams::tiny())
-            }
+            TopologyKind::CorpNetTiny => Self::from_corpnet("CorpNet-tiny", &CorpNetParams::tiny()),
             TopologyKind::CustomTransitStub(p) => Self::from_transit_stub("transit-stub", &p),
             TopologyKind::CustomAsGraph(p) => Self::from_as_graph("as-graph", &p),
             TopologyKind::CustomCorpNet(p) => Self::from_corpnet("corpnet", &p),
@@ -99,7 +117,7 @@ impl Topology {
         let ts = transit_stub::generate(p);
         Topology {
             name,
-            matrix: ts.graph.all_pairs_delay(),
+            matrix: Self::freeze(ts.graph),
             attach: ts.stub_routers,
             lan_delay_us: 1_000,
         }
@@ -109,7 +127,7 @@ impl Topology {
         let a = as_graph::generate(p);
         Topology {
             name,
-            matrix: a.graph.all_pairs_delay(),
+            matrix: Self::freeze(a.graph),
             attach: a.routers,
             // The paper attaches Mercator end nodes directly to routers; at
             // our scaled-down router count two overlay nodes regularly share
@@ -125,7 +143,7 @@ impl Topology {
         let c = corpnet::generate(p);
         Topology {
             name,
-            matrix: c.graph.all_pairs_delay(),
+            matrix: Self::freeze(c.graph),
             attach: c.routers,
             lan_delay_us: 1_000,
         }
@@ -165,8 +183,17 @@ impl Topology {
     }
 
     /// Mean router-to-router delay over all pairs, microseconds.
+    ///
+    /// On a lazily materialised matrix (router count above
+    /// [`DENSE_APSP_LIMIT`]) this forces every row.
     pub fn mean_router_delay_us(&self) -> f64 {
         self.matrix.mean_delay_us()
+    }
+
+    /// Number of delay-matrix source rows currently materialised; equals
+    /// [`Topology::router_count`] for densely built topologies.
+    pub fn delay_rows_materialized(&self) -> usize {
+        self.matrix.rows_materialized()
     }
 }
 
@@ -211,8 +238,36 @@ mod tests {
     }
 
     #[test]
+    fn paper_scale_gatech_defers_apsp() {
+        let t = Topology::build(TopologyKind::GaTech);
+        assert!(t.router_count() > DENSE_APSP_LIMIT);
+        assert_eq!(t.delay_rows_materialized(), 0, "no rows before first query");
+        let a = t.attach_points()[0];
+        let b = *t.attach_points().last().unwrap();
+        // Repeated queries are deterministic and only materialise the two
+        // source rows they touch. (Forward and reverse delays may differ:
+        // equal-routing-weight ties resolve per source.)
+        assert_eq!(t.router_delay_us(a, b), t.router_delay_us(a, b));
+        assert_eq!(t.router_delay_us(b, a), t.router_delay_us(b, a));
+        assert_eq!(t.delay_rows_materialized(), 2);
+    }
+
+    #[test]
+    fn small_topologies_stay_dense() {
+        let t = Topology::build(TopologyKind::GaTechSmall);
+        assert!(t.router_count() <= DENSE_APSP_LIMIT);
+        assert_eq!(t.delay_rows_materialized(), t.router_count());
+    }
+
+    #[test]
     fn names_are_stable() {
-        assert_eq!(Topology::build(TopologyKind::GaTechTiny).name(), "GATech-tiny");
-        assert_eq!(Topology::build(TopologyKind::CorpNetTiny).name(), "CorpNet-tiny");
+        assert_eq!(
+            Topology::build(TopologyKind::GaTechTiny).name(),
+            "GATech-tiny"
+        );
+        assert_eq!(
+            Topology::build(TopologyKind::CorpNetTiny).name(),
+            "CorpNet-tiny"
+        );
     }
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use topology::graph::Graph;
-use topology::{Topology, TopologyKind};
 use topology::transit_stub::TransitStubParams;
+use topology::{Topology, TopologyKind};
 
 /// A random connected undirected graph where routing weight equals delay.
 fn arb_connected_graph() -> impl Strategy<Value = Graph> {

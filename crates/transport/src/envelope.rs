@@ -61,7 +61,9 @@ impl Envelope {
             if bytes.len() < pos + 16 {
                 return Err(DecodeError::Truncated);
             }
-            let id = Id(u128::from_le_bytes(bytes[pos..pos + 16].try_into().unwrap()));
+            let id = Id(u128::from_le_bytes(
+                bytes[pos..pos + 16].try_into().unwrap(),
+            ));
             pos += 16;
             let (addr, used) = decode_addr(&bytes[pos..])?;
             pos += used;

@@ -203,8 +203,13 @@ impl EventLoop {
             self.addrs.insert(seed_id.0, seed_addr);
         }
         let now = self.now_us();
-        self.node
-            .handle(now, Event::Join { seed: seed.map(|(id, _)| id) }, &mut fx);
+        self.node.handle(
+            now,
+            Event::Join {
+                seed: seed.map(|(id, _)| id),
+            },
+            &mut fx,
+        );
         self.execute(fx.drain(), &mut timer_seq);
 
         loop {
@@ -213,7 +218,8 @@ impl EventLoop {
                 match self.cmd_rx.try_recv() {
                     Ok(Cmd::Lookup(key, payload)) => {
                         let now = self.now_us();
-                        self.node.handle(now, Event::Lookup { key, payload }, &mut fx);
+                        self.node
+                            .handle(now, Event::Lookup { key, payload }, &mut fx);
                         let actions = fx.drain();
                         self.execute(actions, &mut timer_seq);
                     }
@@ -320,7 +326,7 @@ mod tests {
     use super::*;
     use mspastry::Id;
     use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use rand::SeedableRng;
 
     #[test]
     fn udp_overlay_forms_and_routes_lookups() {
@@ -332,8 +338,7 @@ mod tests {
         let boot_contact = (boot.id(), boot.local_addr());
         nodes.push(boot);
         for &id in &ids[1..] {
-            let node =
-                UdpNode::spawn(id, lan_config(), "127.0.0.1:0", Some(boot_contact)).unwrap();
+            let node = UdpNode::spawn(id, lan_config(), "127.0.0.1:0", Some(boot_contact)).unwrap();
             assert!(
                 node.wait_active(Duration::from_secs(20)),
                 "node {id} failed to join"

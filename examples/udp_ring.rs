@@ -9,7 +9,7 @@
 
 use mspastry::Id;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::time::{Duration, Instant};
 use transport::{lan_config, UdpNode};
 

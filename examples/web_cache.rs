@@ -25,7 +25,10 @@ fn main() {
     println!("cache hits         : {}", result.cache.hits);
     println!("cache misses       : {}", result.cache.misses);
     println!("skipped (host down): {}", result.cache.skipped);
-    println!("hit rate           : {:.1}%", result.cache.hit_rate() * 100.0);
+    println!(
+        "hit rate           : {:.1}%",
+        result.cache.hit_rate() * 100.0
+    );
     println!(
         "incorrect deliveries: {} (consistent routing keeps the cache coherent)",
         result.run.report.incorrect

@@ -18,7 +18,11 @@ fn squirrel_runs_a_half_day_deployment() {
     p.web.duration_us = DAY_US / 2;
     let res = run_squirrel(&p);
     assert!(res.cache.served > 30, "served {}", res.cache.served);
-    assert!(res.cache.hit_rate() > 0.1, "hit rate {}", res.cache.hit_rate());
+    assert!(
+        res.cache.hit_rate() > 0.1,
+        "hit rate {}",
+        res.cache.hit_rate()
+    );
     assert_eq!(res.run.report.incorrect, 0);
     // Requests while a machine was down are skipped, not lost.
     assert_eq!(res.run.report.lost, 0, "lost {}", res.run.report.lost);

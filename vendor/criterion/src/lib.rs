@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset used by the micro-benchmarks: [`Criterion`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], `black_box`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! plain adaptive timing loop printing mean ns/iter — no statistics engine,
+//! but stable enough to compare runs on one machine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How expensive one batch of inputs is to set up (accepted for API
+/// compatibility; the stand-in sizes batches itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-runs for every iteration.
+    PerIteration,
+}
+
+/// Drives the timing loops of one benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    measured_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over an adaptively chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a single-iteration cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 5_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time
+    /// excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let t1 = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.measured_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        setup: S,
+        mut routine: R,
+        size: BatchSize,
+    ) {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name` and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let (value, unit) = if b.measured_ns >= 1e6 {
+            (b.measured_ns / 1e6, "ms")
+        } else if b.measured_ns >= 1e3 {
+            (b.measured_ns / 1e3, "us")
+        } else {
+            (b.measured_ns, "ns")
+        };
+        println!("{name:<40} {value:>10.2} {unit}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters >= 1);
+    }
+}
