@@ -68,17 +68,15 @@ fn main() {
             ]);
         }
     }
-    bench::csv::write(
-        "fig4_windows",
-        &[
-            "trace",
-            "start_us",
-            "rdp",
-            "control_per_node_per_sec",
-            "active",
-        ],
-        &rows,
-    );
+    let fig4_header = [
+        "trace",
+        "start_us",
+        "rdp",
+        "control_per_node_per_sec",
+        "active",
+    ];
+    bench::csv::write("fig4_windows", &fig4_header, &rows);
+    bench::json::write_table("fig4_windows", &fig4_header, &rows);
 
     println!();
     println!("--- whole-trace means ---");

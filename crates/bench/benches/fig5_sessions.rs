@@ -58,17 +58,15 @@ fn main() {
             cdf_sources.push((minutes, res.report.join_latencies_us.clone()));
         }
     }
-    bench::csv::write(
-        "fig5_sessions",
-        &[
-            "session_min",
-            "rdp",
-            "loss_rate",
-            "control_per_node_per_sec",
-            "active",
-        ],
-        &rows,
-    );
+    let fig5_header = [
+        "session_min",
+        "rdp",
+        "loss_rate",
+        "control_per_node_per_sec",
+        "active",
+    ];
+    bench::csv::write("fig5_sessions", &fig5_header, &rows);
+    bench::json::write_table("fig5_sessions", &fig5_header, &rows);
 
     println!();
     println!("--- right: join-latency CDF (seconds) ---");

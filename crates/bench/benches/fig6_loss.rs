@@ -40,17 +40,15 @@ fn main() {
             format!("{}", res.report.incorrect_rate),
         ]);
     }
-    bench::csv::write(
-        "fig6_loss",
-        &[
-            "network_loss",
-            "rdp",
-            "control_per_node_per_sec",
-            "lookup_loss",
-            "incorrect_rate",
-        ],
-        &rows,
-    );
+    let fig6_header = [
+        "network_loss",
+        "rdp",
+        "control_per_node_per_sec",
+        "lookup_loss",
+        "incorrect_rate",
+    ];
+    bench::csv::write("fig6_loss", &fig6_header, &rows);
+    bench::json::write_table("fig6_loss", &fig6_header, &rows);
     println!();
     println!("expected (paper): lookup loss 1.5e-5 (0%) .. 3.3e-5 (5%);");
     println!("no inconsistencies at <=1% loss, ~1.6e-5 at 5%; RDP and control");

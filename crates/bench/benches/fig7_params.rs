@@ -17,6 +17,7 @@ fn main() {
         s,
     );
 
+    let mut rows = Vec::new();
     println!();
     println!("--- left/centre: leaf-set size l ---");
     println!(
@@ -33,6 +34,13 @@ fn main() {
             "{:>4} | {:>18.3} | {:>6.2} | {:>6.2}",
             l, res.report.control_msgs_per_node_per_sec, res.report.mean_rdp, res.report.mean_hops
         );
+        rows.push(vec![
+            "l".to_string(),
+            format!("{l}"),
+            format!("{}", res.report.control_msgs_per_node_per_sec),
+            format!("{}", res.report.mean_rdp),
+            format!("{}", res.report.mean_hops),
+        ]);
     }
 
     println!();
@@ -51,7 +59,19 @@ fn main() {
             "{:>4} | {:>6.2} | {:>6.2} | {:>18.3}",
             b, res.report.mean_rdp, res.report.mean_hops, res.report.control_msgs_per_node_per_sec
         );
+        rows.push(vec![
+            "b".to_string(),
+            format!("{b}"),
+            format!("{}", res.report.control_msgs_per_node_per_sec),
+            format!("{}", res.report.mean_rdp),
+            format!("{}", res.report.mean_hops),
+        ]);
     }
+    bench::json::write_table(
+        "fig7_params",
+        &["sweep", "value", "control_per_node_per_sec", "rdp", "hops"],
+        &rows,
+    );
     println!();
     println!("expected (paper): control traffic +7% from l=16 to l=32; RDP");
     println!("decreasing in l; RDP rising sharply as b decreases; control");

@@ -62,6 +62,18 @@ fn main() {
             println!("  d{day} {:>2}h {total:>7.3} {bar}", h % 24);
         }
     }
+    bench::json::write_table(
+        "fig8_squirrel",
+        &["hour", "msgs_per_node_per_sec"],
+        &windows
+            .iter()
+            .enumerate()
+            .map(|(h, w)| {
+                let total = w.control_per_node_per_sec + w.per_category_per_node_per_sec[5];
+                vec![format!("{h}"), format!("{total}")]
+            })
+            .collect::<Vec<_>>(),
+    );
     // Aggregate by day for the weekday/weekend contrast.
     println!();
     println!("daily mean traffic (msg/s/node):");

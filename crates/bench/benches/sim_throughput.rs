@@ -12,6 +12,9 @@
 //! `MSPASTRY_SCALE=full` runs the paper-scale trace (hours of wall time).
 //! `MSPASTRY_BENCH_RUNS=n` overrides the number of runs (default 3) — handy
 //! for interleaved A/B comparisons on hosts with drifting clock speed.
+//! `MSPASTRY_TRACE_RATE=r` enables hop-trace sampling at rate `r` to measure
+//! the flight-recorder overhead; results are printed but *not* written to
+//! `BENCH_throughput.json` (the reference file tracks the untraced path).
 
 use bench::{gnutella_trace, header, scale, Scale};
 
@@ -76,9 +79,18 @@ fn main() {
         s,
     );
 
+    let trace_rate: f64 = std::env::var("MSPASTRY_TRACE_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    if trace_rate > 0.0 {
+        println!("hop-trace sampling at {trace_rate} (overhead measurement)");
+    }
+
     let mut best: Option<Measurement> = None;
     for run in 0..runs() {
-        let cfg = bench::base_config(s, gnutella_trace(s));
+        let mut cfg = bench::base_config(s, gnutella_trace(s));
+        cfg.trace_sample_rate = trace_rate;
         let t0 = std::time::Instant::now();
         let res = harness::run(cfg);
         let wall = t0.elapsed().as_secs_f64();
@@ -102,6 +114,14 @@ fn main() {
     let mut m = best.expect("at least one run");
     // VmHWM only grows; attribute the final peak to the best run.
     m.peak_rss_mb = peak_rss_kb() as f64 / 1024.0;
+
+    if trace_rate > 0.0 {
+        println!(
+            "best (traced at {trace_rate}): {:.0} events/sec, peak RSS {:.1} MB",
+            m.events_per_sec, m.peak_rss_mb
+        );
+        return;
+    }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let existing = std::fs::read_to_string(path).unwrap_or_default();

@@ -5,7 +5,7 @@
 //! ```text
 //! USAGE: mspastry-sim [OPTIONS]
 //!
-//!   --trace NAME        gnutella | overnet | microsoft | poisson  [poisson]
+//!   --churn NAME        gnutella | overnet | microsoft | poisson  [poisson]
 //!   --nodes N           mean active nodes (poisson) / scale base  [200]
 //!   --session MIN       mean session minutes (poisson)            [60]
 //!   --hours H           trace duration, hours                     [2]
@@ -21,6 +21,9 @@
 //!   --no-suppression    disable probe suppression
 //!   --no-selftuning     disable self-tuning (fixed 30 s period)
 //!   --windows           print the per-window time series
+//!   --json PATH         write the run artifact (report + diagnostics) as JSON
+//!   --trace RATE        hop-trace sampling rate in [0, 1]         [0]
+//!   --trace-out PATH    hop-trace JSONL path  [<json path>.trace.jsonl]
 //! ```
 
 use churn::poisson::PoissonParams;
@@ -54,7 +57,7 @@ fn main() {
     let session_min = parse_or("--session", 60.0);
     let seed = parse_or("--seed", 1.0) as u64;
 
-    let trace = match get("--trace").as_deref().unwrap_or("poisson") {
+    let trace = match get("--churn").as_deref().unwrap_or("poisson") {
         "poisson" => churn::poisson::trace(&PoissonParams {
             mean_nodes: nodes,
             mean_session_us: session_min * 60e6,
@@ -104,6 +107,23 @@ fn main() {
     cfg.protocol.active_rt_probing = !flag("--no-probing");
     cfg.protocol.probe_suppression = !flag("--no-suppression");
     cfg.protocol.self_tuning = !flag("--no-selftuning");
+
+    let json_path = get("--json");
+    let trace_rate = get("--trace")
+        .map(|v| {
+            v.parse::<f64>().ok().filter(|r| (0.0..=1.0).contains(r)).unwrap_or_else(|| {
+                die(&format!(
+                    "bad value for --trace: {v} (a sampling rate in [0, 1]; churn traces are selected with --churn)"
+                ))
+            })
+        })
+        .unwrap_or(0.0);
+    cfg.trace_sample_rate = trace_rate;
+    let trace_out = get("--trace-out").or_else(|| {
+        (trace_rate > 0.0)
+            .then(|| json_path.as_deref().map(|p| format!("{p}.trace.jsonl")))
+            .flatten()
+    });
 
     eprintln!(
         "simulating {} on {:?} for {hours} h (seed {seed}) ...",
@@ -160,6 +180,22 @@ fn main() {
                 w.control_per_node_per_sec,
                 w.mean_active_nodes
             );
+        }
+    }
+    if let Some(path) = &json_path {
+        match std::fs::write(path, harness::run_json(&res)) {
+            Ok(()) => eprintln!("wrote run artifact to {path}"),
+            Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+    }
+    if let Some(path) = &trace_out {
+        match std::fs::write(path, obs::trace_jsonl(&res.trace_events)) {
+            Ok(()) => eprintln!(
+                "wrote {} hop-trace events to {path} ({} overwritten)",
+                res.trace_events.len(),
+                res.trace_overwritten
+            ),
+            Err(e) => die(&format!("cannot write {path}: {e}")),
         }
     }
 }

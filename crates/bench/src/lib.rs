@@ -172,6 +172,67 @@ pub mod csv {
     }
 }
 
+/// JSON sidecar export of experiment results (written under `results/`,
+/// next to the CSVs). Schema `mspastry-series/1`: a named table with typed
+/// cells, so downstream tooling never re-parses CSV heuristically.
+pub mod json {
+    use obs::JsonWriter;
+    use std::path::Path;
+
+    /// Serialises one cell: numbers stay numbers, everything else is a
+    /// string. Integer parses are tried first so counts round-trip exactly.
+    fn cell(w: &mut JsonWriter, v: &str) {
+        if let Ok(n) = v.parse::<u64>() {
+            w.u64(n);
+        } else if let Ok(n) = v.parse::<i64>() {
+            w.i64(n);
+        } else if let Ok(f) = v.parse::<f64>() {
+            w.f64(f);
+        } else {
+            w.string(v);
+        }
+    }
+
+    /// Renders a table as a `mspastry-series/1` JSON document.
+    pub fn render_table(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "mspastry-series/1")
+            .field_str("name", name);
+        w.key("columns").begin_array();
+        for h in header {
+            w.string(h);
+        }
+        w.end_array();
+        w.key("rows").begin_array();
+        for row in rows {
+            w.begin_array();
+            for v in row {
+                cell(&mut w, v);
+            }
+            w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes a table to `results/<name>.json`. Errors are reported on
+    /// stderr but never abort an experiment (mirrors [`super::csv::write`]).
+    pub fn write_table(name: &str, header: &[&str], rows: &[Vec<String>]) {
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("json: cannot create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(format!("{name}.json"));
+        match std::fs::write(&path, render_table(name, header, rows)) {
+            Ok(()) => eprintln!("json: wrote {path:?} ({} rows)", rows.len()),
+            Err(e) => eprintln!("json: write to {path:?} failed: {e}"),
+        }
+    }
+}
+
 /// Prints a standard header for a bench target.
 pub fn header(fig: &str, what: &str, s: Scale) {
     println!("==============================================================");
@@ -206,5 +267,21 @@ mod tests {
     fn sci_formats() {
         assert_eq!(sci(0.0), "0");
         assert_eq!(sci(1.6e-5), "1.6e-5");
+    }
+
+    #[test]
+    fn json_table_types_cells() {
+        let rows = vec![vec![
+            "gnutella".to_string(),
+            "42".to_string(),
+            "1.5".to_string(),
+        ]];
+        let s = json::render_table("t", &["trace", "n", "rdp"], &rows);
+        assert_eq!(
+            s,
+            "{\"schema\":\"mspastry-series/1\",\"name\":\"t\",\
+             \"columns\":[\"trace\",\"n\",\"rdp\"],\
+             \"rows\":[[\"gnutella\",42,1.5]]}"
+        );
     }
 }

@@ -30,10 +30,12 @@
 
 pub use mspastry::fxhash;
 
+pub mod artifact;
 pub mod metrics;
 pub mod oracle;
 pub mod runner;
 
+pub use artifact::{report_json, run_json, RUN_SCHEMA};
 pub use metrics::{category_index, Report, WindowReport, CATEGORY_NAMES, N_CATEGORIES};
 pub use oracle::Oracle;
 pub use runner::{run, DeliveryRecord, RunConfig, RunResult, ScriptedLookup, Workload};

@@ -11,13 +11,16 @@ use mspastry::{
     Action, Config, Effects, Event, Id, Key, Message, Node, NodeId, Payload, TimerKind,
 };
 use netsim::{EndpointId, EventQueue, Network};
+use obs::{HistId, HopEvent, Obs};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::OnceLock;
 use topology::{Topology, TopologyKind};
 
-/// Whether to print every dropped lookup (`MSPASTRY_DEBUG_DROPS`); the
-/// environment is consulted once per process, not once per drop.
+/// Whether to echo every dropped lookup to stderr (`MSPASTRY_DEBUG_DROPS`);
+/// the environment is consulted once per process, not once per drop. The
+/// echo itself happens inside [`obs::Obs::drop_event`], with the full drop
+/// context (reason, lookup id, dropping node).
 fn debug_drops() -> bool {
     static FLAG: OnceLock<bool> = OnceLock::new();
     *FLAG.get_or_init(|| std::env::var("MSPASTRY_DEBUG_DROPS").is_ok())
@@ -115,6 +118,15 @@ pub struct RunConfig {
     /// Total network outages, as trace-relative `(start_us, end_us)` windows
     /// during which every message is lost.
     pub outages: Vec<(u64, u64)>,
+    /// Fraction of lookups whose hop-by-hop history is recorded in the
+    /// flight recorder (0.0 disables tracing entirely; 1.0 traces every
+    /// lookup). Sampling is a deterministic hash of the lookup identity, so
+    /// every node on the path agrees on the decision and repeated runs
+    /// produce identical traces.
+    pub trace_sample_rate: f64,
+    /// Flight-recorder capacity in events; once full, the oldest events are
+    /// overwritten (the count of casualties is reported).
+    pub trace_capacity: usize,
 }
 
 impl RunConfig {
@@ -136,6 +148,8 @@ impl RunConfig {
             record_deliveries: false,
             graceful_leave_fraction: 0.0,
             outages: Vec::new(),
+            trace_sample_rate: 0.0,
+            trace_capacity: 65_536,
         }
     }
 }
@@ -170,6 +184,14 @@ pub struct RunResult {
     pub rt_unknown_fraction: f64,
     /// Mean measured routing-table entry distance at the end, microseconds.
     pub rt_mean_distance_us: f64,
+    /// End-of-run snapshot of the per-run diagnostic registry (probe causes,
+    /// network loss counters, RTO/latency histograms, ...).
+    pub diag: obs::Snapshot,
+    /// Sampled hop-trace events, in recording order (empty unless
+    /// `trace_sample_rate > 0`).
+    pub trace_events: Vec<HopEvent>,
+    /// Trace events lost to ring-buffer overwrite.
+    pub trace_overwritten: u64,
 }
 
 #[derive(Debug)]
@@ -210,6 +232,9 @@ struct Runner {
     net: Network,
     queue: EventQueue<Ev>,
     metrics: Metrics,
+    obs: Obs,
+    h_latency: HistId,
+    h_hops: HistId,
     oracle: Oracle,
     rng: SmallRng,
     nodes: Vec<Option<Node>>,
@@ -242,6 +267,10 @@ impl Runner {
         let topo = Topology::build(cfg.topology.clone());
         let mut net = Network::new(topo, cfg.seed ^ 0x6e65_7477);
         net.set_loss_rate(cfg.network_loss_rate);
+        let obs = Obs::new(cfg.trace_sample_rate, cfg.trace_capacity, debug_drops());
+        net.set_obs(obs.clone());
+        let h_latency = obs.histogram("lookup.latency_us");
+        let h_hops = obs.histogram("lookup.hops");
         let metrics = Metrics::new(cfg.warmup_us, cfg.metrics_window_us, cfg.lookup_timeout_us);
         let end_us = cfg.warmup_us + cfg.trace.duration_us();
         let n_sessions = cfg.trace.sessions().len();
@@ -258,6 +287,9 @@ impl Runner {
             net,
             queue: EventQueue::new(),
             metrics,
+            obs,
+            h_latency,
+            h_hops,
             oracle: Oracle::new(),
             rng,
             nodes: Vec::new(),
@@ -368,8 +400,13 @@ impl Runner {
             }
         }
         let report = self.metrics.finalize(self.end_us);
+        let diag = self.obs.snapshot();
+        let (trace_events, trace_overwritten) = self.obs.take_trace();
         RunResult {
             report,
+            diag,
+            trace_events,
+            trace_overwritten,
             trace_name: self.cfg.trace.name().to_string(),
             topology_name: self.net.topology().name(),
             final_active,
@@ -430,8 +467,11 @@ impl Runner {
         let ep = self.net.add_endpoint();
         let id = Id::random(&mut self.rng);
         debug_assert_eq!(ep, self.nodes.len());
-        self.nodes
-            .push(Some(Node::new(id, self.cfg.protocol.clone())));
+        self.nodes.push(Some(Node::with_obs(
+            id,
+            self.cfg.protocol.clone(),
+            self.obs.clone(),
+        )));
         self.node_ids.push(id);
         self.session_of_ep.push(session);
         self.active_pos.push(NOT_ACTIVE);
@@ -585,6 +625,11 @@ impl Runner {
                     self.metrics.sight_lookup(id, issued_at_us);
                     self.metrics
                         .on_delivered(now, id, issued_at_us, correct, hops, direct);
+                    if issued_at_us >= self.cfg.warmup_us {
+                        self.obs
+                            .record(self.h_latency, now.saturating_sub(issued_at_us));
+                        self.obs.record(self.h_hops, hops as u64);
+                    }
                     if self.cfg.record_deliveries {
                         let replica_sessions = replica_set
                             .iter()
@@ -626,12 +671,9 @@ impl Runner {
                         }
                     }
                 }
-                Action::LookupDropped { reason, .. } => {
-                    if debug_drops() {
-                        eprintln!("drop at t={now} reason={reason:?}");
-                    }
-                    self.metrics.on_drop_report()
-                }
+                // The node already counted the drop (and echoed it to stderr
+                // under MSPASTRY_DEBUG_DROPS) through the shared obs handle.
+                Action::LookupDropped { .. } => self.metrics.on_drop_report(),
             }
         }
     }

@@ -1,0 +1,73 @@
+//! The run-artifact JSON is a public interface: downstream tooling parses
+//! it, so its shape must not drift silently. A fixed synthetic `Report` is
+//! serialised and compared byte-for-byte against a checked-in golden file;
+//! any intentional schema change regenerates it with `MSPASTRY_BLESS=1` (and
+//! should bump `harness::RUN_SCHEMA`).
+
+use harness::metrics::{Report, WindowReport, N_CATEGORIES};
+use obs::JsonWriter;
+use std::path::Path;
+
+fn fixed_report() -> Report {
+    Report {
+        issued: 1000,
+        delivered: 990,
+        incorrect: 1,
+        lost: 9,
+        censored: 2,
+        duplicates: 3,
+        drop_reports: 11,
+        incorrect_rate: 1.001001001001001e-3,
+        loss_rate: 9.00900900900901e-3,
+        mean_rdp: 1.75,
+        mean_hops: 2.5,
+        control_msgs_per_node_per_sec: 0.321,
+        totals_per_node_per_sec: [0.1, 0.2, 0.3, 0.04, 0.005, 0.5],
+        node_seconds: 123456.75,
+        bytes_per_node_per_sec: 88.125,
+        slow_deliveries: 4,
+        join_latencies_us: vec![1_500_000, 2_000_000, 9_999_999],
+        windows: vec![
+            WindowReport {
+                start_us: 0,
+                rdp: 1.5,
+                control_per_node_per_sec: 0.3,
+                per_category_per_node_per_sec: [0.01, 0.02, 0.03, 0.04, 0.05, 0.06],
+                mean_active_nodes: 60.5,
+            },
+            WindowReport {
+                start_us: 600_000_000,
+                rdp: 2.0,
+                control_per_node_per_sec: 0.35,
+                per_category_per_node_per_sec: [0.0; N_CATEGORIES],
+                mean_active_nodes: 59.0,
+            },
+        ],
+        fine_counts: vec![("Ack", 5000), ("LsProbe", 123)],
+    }
+}
+
+#[test]
+fn report_json_matches_golden_file() {
+    let mut w = JsonWriter::new();
+    harness::report_json(&mut w, &fixed_report());
+    let got = w.finish();
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.json");
+    if std::env::var("MSPASTRY_BLESS").is_ok() {
+        std::fs::write(&path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("golden file missing; regenerate with MSPASTRY_BLESS=1");
+    assert_eq!(
+        got, want,
+        "Report JSON schema changed; if intentional, regenerate the golden \
+         file with MSPASTRY_BLESS=1 and bump harness::RUN_SCHEMA"
+    );
+}
+
+#[test]
+fn run_schema_tag_is_stable() {
+    assert_eq!(harness::RUN_SCHEMA, "mspastry-run/1");
+}

@@ -44,3 +44,44 @@ fn identical_configs_produce_identical_reports() {
         );
     }
 }
+
+/// The observability layer is part of the instrument: the diagnostic
+/// registry snapshot, the full hop-trace event stream (serialised to the
+/// JSONL wire format, byte for byte), and the run artifact JSON must all be
+/// identical across repeated runs — tracing must not perturb the simulation,
+/// and the artifacts themselves must be reproducible.
+#[test]
+fn trace_and_artifacts_are_bit_identical_across_runs() {
+    let with_trace = |seed| {
+        let mut c = cfg(seed);
+        c.trace_sample_rate = 1.0;
+        c
+    };
+    let a = run(with_trace(5));
+    let b = run(with_trace(5));
+    assert!(
+        a.trace_events.len() > 500,
+        "trace too small to be meaningful: {} events",
+        a.trace_events.len()
+    );
+    assert_eq!(a.diag, b.diag, "registry snapshots diverged");
+    assert_eq!(
+        obs::trace_jsonl(&a.trace_events),
+        obs::trace_jsonl(&b.trace_events),
+        "hop-trace JSONL streams diverged"
+    );
+    assert_eq!(a.trace_overwritten, b.trace_overwritten);
+    assert_eq!(
+        harness::run_json(&a),
+        harness::run_json(&b),
+        "run artifacts diverged"
+    );
+
+    // Tracing must be an observer: the same run without tracing produces the
+    // same Report.
+    let untraced = run(cfg(5));
+    assert_eq!(
+        a.report, untraced.report,
+        "tracing perturbed the simulation"
+    );
+}

@@ -1,0 +1,124 @@
+//! The flight recorder's promise: for any sampled lookup, the dumped events
+//! reconstruct its complete hop-by-hop history. This drives a small lossy
+//! run with full sampling and checks the reconstruction invariants on the
+//! actual event stream.
+
+use churn::poisson::{self, PoissonParams};
+use harness::{run, RunConfig};
+use obs::HopKind;
+use std::collections::BTreeMap;
+use topology::TopologyKind;
+
+const MIN: u64 = 60 * 1_000_000;
+
+#[test]
+fn sampled_lookups_reconstruct_complete_hop_paths() {
+    let trace = poisson::trace(&PoissonParams {
+        mean_nodes: 50.0,
+        mean_session_us: 30.0 * 60e6,
+        duration_us: 20 * MIN,
+        seed: 11,
+    });
+    let mut cfg = RunConfig::new(trace);
+    cfg.topology = TopologyKind::GaTechTiny;
+    cfg.warmup_us = 6 * MIN;
+    cfg.metrics_window_us = 5 * MIN;
+    cfg.network_loss_rate = 0.03; // force retransmissions into the trace
+    cfg.seed = 11;
+    cfg.trace_sample_rate = 1.0;
+    cfg.trace_capacity = 1 << 20;
+    let res = run(cfg);
+    assert_eq!(res.trace_overwritten, 0, "ring too small for this run");
+    assert!(!res.trace_events.is_empty());
+
+    // Group events by lookup identity.
+    let mut by_lookup: BTreeMap<(u128, u64), Vec<&obs::HopEvent>> = BTreeMap::new();
+    for ev in &res.trace_events {
+        by_lookup.entry((ev.src, ev.seq)).or_default().push(ev);
+    }
+
+    let mut delivered_paths = 0u64;
+    let mut retransmits_seen = 0u64;
+    for ((src, _seq), evs) in &by_lookup {
+        // The recorder is drained in recording order, so each lookup's
+        // events must already be time-ordered.
+        assert!(
+            evs.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+            "events of one lookup out of order"
+        );
+        // Every lookup traced from birth starts with Issue at its source.
+        if let Some(first) = evs.iter().find(|e| e.kind == HopKind::Issue) {
+            assert_eq!(first.node, *src, "Issue event not at the source node");
+            assert_eq!(first.hops, 0);
+        }
+        retransmits_seen += evs.iter().filter(|e| e.kind == HopKind::Retransmit).count() as u64;
+        if let Some(del) = evs.iter().find(|e| e.kind == HopKind::Deliver) {
+            // A delivered lookup's path is complete: an Issue, `hops`
+            // forwards (counting same-root retransmissions once), then the
+            // delivery. Each forward's hop counter increments from 1.
+            let has_issue = evs.iter().any(|e| e.kind == HopKind::Issue);
+            if !has_issue {
+                continue; // issued before the trace window; partial by design
+            }
+            // Rerouted/retransmitted copies can repeat hop numbers or push a
+            // doomed copy further than the delivering one, so the invariant
+            // is coverage: every hop 1..=del.hops has a Forward event.
+            let fw_hops: std::collections::BTreeSet<u32> = evs
+                .iter()
+                .filter(|e| e.kind == HopKind::Forward)
+                .map(|e| e.hops)
+                .collect();
+            assert!(
+                (1..=del.hops).all(|h| fw_hops.contains(&h)),
+                "forward hop numbers {fw_hops:?} do not cover 1..={}",
+                del.hops
+            );
+            // Timestamps and RTO state ride along on every forward.
+            assert!(
+                evs.iter()
+                    .filter(|e| e.kind == HopKind::Forward)
+                    .all(|e| e.detail_us > 0),
+                "forward event missing its armed RTO"
+            );
+            delivered_paths += 1;
+        }
+    }
+    assert!(
+        delivered_paths > 50,
+        "too few complete paths to be meaningful: {delivered_paths}"
+    );
+    assert!(
+        retransmits_seen > 0,
+        "3% loss must surface retransmit events"
+    );
+
+    // Deterministic sampling at a fractional rate: a lookup is either traced
+    // at every node it touches or not at all, so halving the rate must yield
+    // a subset of the full trace's lookups.
+    let (events_half, _) = {
+        let trace = poisson::trace(&PoissonParams {
+            mean_nodes: 50.0,
+            mean_session_us: 30.0 * 60e6,
+            duration_us: 20 * MIN,
+            seed: 11,
+        });
+        let mut cfg = RunConfig::new(trace);
+        cfg.topology = TopologyKind::GaTechTiny;
+        cfg.warmup_us = 6 * MIN;
+        cfg.metrics_window_us = 5 * MIN;
+        cfg.network_loss_rate = 0.03;
+        cfg.seed = 11;
+        cfg.trace_sample_rate = 0.5;
+        cfg.trace_capacity = 1 << 20;
+        let r = run(cfg);
+        (r.trace_events, r.trace_overwritten)
+    };
+    assert!(!events_half.is_empty());
+    assert!(events_half.len() < res.trace_events.len());
+    for ev in &events_half {
+        assert!(
+            by_lookup.contains_key(&(ev.src, ev.seq)),
+            "half-rate trace contains a lookup absent from the full trace"
+        );
+    }
+}

@@ -1,11 +1,16 @@
-//! Process-wide diagnostic counters.
+//! Per-run protocol diagnostics through the [`obs`] registry.
 //!
-//! Cheap atomic counters attributing leaf-set probe traffic to its cause.
-//! They aggregate across every node in the process (the simulator runs all
-//! nodes in one process, which is exactly what makes this useful for
-//! profiling protocol overhead). Not part of the protocol; safe to ignore.
+//! This module used to hold process-wide atomic counters (and a mutexed
+//! pair-tracking map) that aggregated across every node in the process —
+//! including nodes of *other, concurrently running* simulations, which made
+//! parallel `cargo test` counters unusable. All diagnostic state now lives
+//! in the per-run [`obs::Obs`] registry the host threads into each node;
+//! nodes built without one ([`obs::Obs::disabled`]) pay a single branch per
+//! count.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::events::DropReason;
+use crate::messages::LookupId;
+use obs::{CounterId, HistId, HopEvent, Obs};
 
 /// Why a leaf-set probe was started.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,130 +31,173 @@ pub enum ProbeCause {
     AckSuspect,
 }
 
-const N: usize = 7;
-static COUNTS: [AtomicU64; N] = [
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
+/// Number of probe causes.
+pub const N_PROBE_CAUSES: usize = 7;
+
+/// Registry counter names for each [`ProbeCause`], in discriminant order.
+pub const PROBE_CAUSE_COUNTERS: [&str; N_PROBE_CAUSES] = [
+    "probe.cause.join-bootstrap",
+    "probe.cause.candidate",
+    "probe.cause.confirm",
+    "probe.cause.announce",
+    "probe.cause.repair",
+    "probe.cause.suspect",
+    "probe.cause.ack-suspect",
 ];
 
-/// Names matching [`snapshot`]'s order.
-pub const PROBE_CAUSE_NAMES: [&str; N] = [
-    "join-bootstrap",
-    "candidate",
-    "confirm",
-    "announce",
-    "repair",
-    "suspect",
-    "ack-suspect",
+/// Registry counter names for each [`DropReason`], in discriminant order.
+pub const DROP_REASON_COUNTERS: [&str; 3] = [
+    "lookup.drop.no-route",
+    "lookup.drop.too-many-reroutes",
+    "lookup.drop.buffer-overflow",
 ];
 
-pub(crate) fn count(cause: ProbeCause) {
-    COUNTS[cause as usize].fetch_add(1, Ordering::Relaxed);
+/// A node's resolved instrumentation handles: the shared [`Obs`] plus the
+/// interned counter/histogram ids, so the hot path never looks up a name.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeObs {
+    obs: Obs,
+    probe_cause: [CounterId; N_PROBE_CAUSES],
+    drop_reason: [CounterId; 3],
+    pns_measured: CounterId,
+    pns_replaced: CounterId,
+    final_retx: CounterId,
+    stranded_reroute: CounterId,
+    reroutes: CounterId,
+    rtt_sample_us: HistId,
+    ack_rto_us: HistId,
+    t_rt_us: HistId,
+    retx_attempt: HistId,
 }
 
-/// Returns the current per-cause counts (order of [`PROBE_CAUSE_NAMES`]).
-pub fn snapshot() -> [u64; N] {
-    std::array::from_fn(|i| COUNTS[i].load(Ordering::Relaxed))
-}
-
-use std::collections::HashMap as StdHashMap;
-use std::sync::atomic::AtomicBool;
-use std::sync::Mutex;
-static PAIRS_ENABLED: AtomicBool = AtomicBool::new(false);
-static PAIRS: Mutex<Option<StdHashMap<(u128, u128), u32>>> = Mutex::new(None);
-
-/// Records a candidate probe pair (no-op unless [`enable_pairs`] was called).
-pub fn count_pair(prober: u128, target: u128) {
-    if !PAIRS_ENABLED.load(Ordering::Relaxed) {
-        return;
-    }
-    let mut g = PAIRS.lock().unwrap();
-    if let Some(m) = g.as_mut() {
-        *m.entry((prober, target)).or_insert(0) += 1;
-    }
-}
-
-/// Enables pair tracking (process-wide; costs a mutex per candidate probe).
-pub fn enable_pairs() {
-    *PAIRS.lock().unwrap() = Some(StdHashMap::new());
-    PAIRS_ENABLED.store(true, Ordering::Relaxed);
-}
-
-/// Histogram of pair repeat counts: (repeats, how many pairs).
-pub fn pair_histogram() -> Vec<(u32, u64)> {
-    let g = PAIRS.lock().unwrap();
-    let mut h: StdHashMap<u32, u64> = StdHashMap::new();
-    if let Some(m) = g.as_ref() {
-        for &c in m.values() {
-            *h.entry(c).or_insert(0) += 1;
+impl NodeObs {
+    pub(crate) fn new(obs: Obs) -> Self {
+        NodeObs {
+            probe_cause: std::array::from_fn(|i| obs.counter(PROBE_CAUSE_COUNTERS[i])),
+            drop_reason: std::array::from_fn(|i| obs.counter(DROP_REASON_COUNTERS[i])),
+            pns_measured: obs.counter("pns.measured"),
+            pns_replaced: obs.counter("pns.replaced"),
+            final_retx: obs.counter("lookup.final-retx"),
+            stranded_reroute: obs.counter("lookup.stranded-reroute"),
+            reroutes: obs.counter("lookup.reroutes"),
+            rtt_sample_us: obs.histogram("node.rtt_sample_us"),
+            ack_rto_us: obs.histogram("node.ack_rto_us"),
+            t_rt_us: obs.histogram("node.t_rt_us"),
+            retx_attempt: obs.histogram("node.retx_attempt"),
+            obs,
         }
     }
-    let mut v: Vec<(u32, u64)> = h.into_iter().collect();
-    v.sort();
-    v
-}
 
-static EXTRA: [AtomicU64; 4] = [
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-];
+    #[inline]
+    pub(crate) fn cause(&self, c: ProbeCause) {
+        self.obs.inc(self.probe_cause[c as usize]);
+    }
 
-/// Names for [`extra_snapshot`]: completed PNS distance measurements,
-/// final-hop retransmissions, stranded re-routes after `mark_faulty`, and
-/// PNS replacements of a farther routing-table entry.
-pub const EXTRA_NAMES: [&str; 4] = [
-    "pns-measured",
-    "final-retx",
-    "stranded-reroute",
-    "pns-replaced",
-];
+    #[inline]
+    pub(crate) fn pns_measured(&self) {
+        self.obs.inc(self.pns_measured);
+    }
 
-/// Bumps an extra counter by index.
-pub fn bump(idx: usize) {
-    EXTRA[idx].fetch_add(1, Ordering::Relaxed);
-}
+    #[inline]
+    pub(crate) fn pns_replaced(&self) {
+        self.obs.inc(self.pns_replaced);
+    }
 
-/// Snapshot of the extra counters.
-pub fn extra_snapshot() -> [u64; 4] {
-    std::array::from_fn(|i| EXTRA[i].load(Ordering::Relaxed))
-}
+    #[inline]
+    pub(crate) fn final_retx(&self) {
+        self.obs.inc(self.final_retx);
+    }
 
-/// Returns the hottest recorded pair.
-pub fn hottest_pair() -> Option<((u128, u128), u32)> {
-    let g = PAIRS.lock().unwrap();
-    g.as_ref()
-        .and_then(|m| m.iter().max_by_key(|(_, &c)| c).map(|(&k, &c)| (k, c)))
-}
+    #[inline]
+    pub(crate) fn stranded_reroute(&self) {
+        self.obs.inc(self.stranded_reroute);
+    }
 
-/// Resets all counters to zero.
-pub fn reset() {
-    for c in &COUNTS {
-        c.store(0, Ordering::Relaxed);
+    #[inline]
+    pub(crate) fn reroute(&self) {
+        self.obs.inc(self.reroutes);
+    }
+
+    /// Records an RTT sample feeding the RTO estimator.
+    #[inline]
+    pub(crate) fn rtt_sample(&self, rtt_us: u64) {
+        self.obs.record(self.rtt_sample_us, rtt_us);
+    }
+
+    /// Records the RTO armed for a forwarded lookup.
+    #[inline]
+    pub(crate) fn ack_rto(&self, rto_us: u64) {
+        self.obs.record(self.ack_rto_us, rto_us);
+    }
+
+    /// Records a newly adopted self-tuned probing period.
+    #[inline]
+    pub(crate) fn t_rt(&self, t_rt_us: u64) {
+        self.obs.record(self.t_rt_us, t_rt_us);
+    }
+
+    /// Records a same-root retransmission attempt number.
+    #[inline]
+    pub(crate) fn retx_attempt(&self, attempt: u32) {
+        self.obs.record(self.retx_attempt, attempt as u64);
+    }
+
+    /// `true` if the lookup is in the hop-trace sample.
+    #[inline]
+    pub(crate) fn sampled(&self, id: LookupId) -> bool {
+        self.obs.sampled(id.src.0, id.seq)
+    }
+
+    /// Records a hop event (guard with [`Self::sampled`] first).
+    #[inline]
+    pub(crate) fn hop(&self, ev: HopEvent) {
+        self.obs.hop(ev);
+    }
+
+    /// Records a lookup drop: per-reason counter, optional stderr echo,
+    /// trace event when sampled.
+    pub(crate) fn drop_event(&self, reason: DropReason, ev: HopEvent) {
+        self.obs.drop_event(self.drop_reason[reason as usize], ev);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::id::Id;
 
     #[test]
-    fn counters_accumulate_and_reset() {
-        reset();
-        count(ProbeCause::Repair);
-        count(ProbeCause::Repair);
-        count(ProbeCause::Suspect);
-        let s = snapshot();
-        assert!(s[ProbeCause::Repair as usize] >= 2);
-        assert!(s[ProbeCause::Suspect as usize] >= 1);
-        reset();
-        // Other tests may run concurrently and bump counters between reset
-        // and snapshot; just check reset does not panic.
+    fn counters_are_per_run_not_per_process() {
+        let run_a = Obs::new(0.0, 16, false);
+        let run_b = Obs::new(0.0, 16, false);
+        let a = NodeObs::new(run_a.clone());
+        let b = NodeObs::new(run_b.clone());
+        a.cause(ProbeCause::Repair);
+        a.cause(ProbeCause::Repair);
+        b.cause(ProbeCause::Suspect);
+        assert_eq!(run_a.snapshot().counter("probe.cause.repair"), 2);
+        assert_eq!(run_a.snapshot().counter("probe.cause.suspect"), 0);
+        assert_eq!(run_b.snapshot().counter("probe.cause.repair"), 0);
+        assert_eq!(run_b.snapshot().counter("probe.cause.suspect"), 1);
+    }
+
+    #[test]
+    fn disabled_obs_counts_nothing_and_panics_never() {
+        let n = NodeObs::new(Obs::disabled());
+        n.cause(ProbeCause::Candidate);
+        n.pns_measured();
+        n.rtt_sample(100);
+        n.retx_attempt(3);
+        assert!(!n.sampled(LookupId { src: Id(1), seq: 1 }));
+    }
+
+    #[test]
+    fn two_nodes_share_one_run_registry() {
+        let run = Obs::new(0.0, 16, false);
+        let a = NodeObs::new(run.clone());
+        let b = NodeObs::new(run.clone());
+        a.cause(ProbeCause::Announce);
+        b.cause(ProbeCause::Announce);
+        assert_eq!(run.snapshot().counter("probe.cause.announce"), 2);
     }
 }

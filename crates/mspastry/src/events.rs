@@ -140,6 +140,17 @@ pub enum DropReason {
     BufferOverflow,
 }
 
+impl DropReason {
+    /// Stable kebab-case name (used in trace artifacts and counters).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::NoRoute => "no-route",
+            DropReason::TooManyReroutes => "too-many-reroutes",
+            DropReason::BufferOverflow => "buffer-overflow",
+        }
+    }
+}
+
 /// Convenience container the node writes its outputs into.
 #[derive(Debug, Default)]
 pub struct Effects {

@@ -14,6 +14,7 @@
 //!   symmetric distance probes for PNS.
 
 use crate::config::Config;
+use crate::diag::{NodeObs, ProbeCause};
 use crate::events::{Action, DropReason, Effects, Event, TimerKind};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::id::{Id, Key, NodeId};
@@ -25,6 +26,7 @@ use crate::routing::{route, NextHop};
 use crate::routing_table::{RoutingTable, DIST_UNKNOWN};
 use crate::rto::RtoTable;
 use crate::tuning::SelfTuner;
+use obs::{HopEvent, HopKind, NO_PEER};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -90,6 +92,7 @@ pub struct Node {
     buffered_joins: Vec<(NodeId, Vec<Vec<NodeId>>, u32)>,
     lookup_seq: u64,
     rng: SmallRng,
+    obs: NodeObs,
 }
 
 const SEEN_CAP: usize = 16_384;
@@ -103,6 +106,17 @@ impl Node {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(id: NodeId, cfg: Config) -> Self {
+        Self::with_obs(id, cfg, obs::Obs::disabled())
+    }
+
+    /// Creates an inactive node wired to a per-run observability handle:
+    /// its diagnostic counters, RTO/period histograms and sampled hop
+    /// traces land in `obs`'s registry and flight recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_obs(id: NodeId, cfg: Config, obs: obs::Obs) -> Self {
         cfg.validate().expect("invalid MSPastry configuration");
         let half = cfg.leaf_half();
         let b = cfg.b;
@@ -137,6 +151,33 @@ impl Node {
             buffered_joins: Vec::new(),
             lookup_seq: 0,
             rng: SmallRng::seed_from_u64((id.0 as u64) ^ ((id.0 >> 64) as u64)),
+            obs: NodeObs::new(obs),
+        }
+    }
+
+    /// Builds a hop-trace event at the current clock for lookup `id`.
+    #[allow(clippy::too_many_arguments)]
+    fn hop_ev(
+        &self,
+        id: LookupId,
+        kind: HopKind,
+        peer: u128,
+        hops: u32,
+        attempt: u32,
+        detail_us: u64,
+        note: &'static str,
+    ) -> HopEvent {
+        HopEvent {
+            at_us: self.now_us,
+            node: self.id.0,
+            src: id.src.0,
+            seq: id.seq,
+            kind,
+            peer,
+            hops,
+            attempt,
+            detail_us,
+            note,
         }
     }
 
@@ -297,6 +338,10 @@ impl Node {
             seq: self.lookup_seq,
         };
         self.note_seen(id);
+        if self.obs.sampled(id) {
+            let ev = self.hop_ev(id, HopKind::Issue, NO_PEER, 0, 0, 0, "");
+            self.obs.hop(ev);
+        }
         if !self.active {
             self.buffer_lookup(
                 BufferedLookup {
@@ -328,10 +373,18 @@ impl Node {
 
     fn buffer_lookup(&mut self, bl: BufferedLookup, fx: &mut Effects) {
         if self.buffered.len() >= self.cfg.join_buffer_cap {
-            fx.actions.push(Action::LookupDropped {
-                id: bl.id,
-                reason: DropReason::BufferOverflow,
-            });
+            let reason = DropReason::BufferOverflow;
+            let ev = self.hop_ev(
+                bl.id,
+                HopKind::Drop,
+                NO_PEER,
+                bl.hops,
+                0,
+                0,
+                reason.as_str(),
+            );
+            self.obs.drop_event(reason, ev);
+            fx.actions.push(Action::LookupDropped { id: bl.id, reason });
             return;
         }
         self.buffered.push(bl);
@@ -487,10 +540,15 @@ impl Node {
             }
             Message::Ack { id } => {
                 if let Some(p) = self.pending.remove(&id) {
+                    let rtt = self.now_us.saturating_sub(p.sent_at_us);
                     if p.next == from && p.attempt == 0 {
                         // Karn's rule: only sample unambiguous exchanges.
-                        self.rtos
-                            .update(from, self.now_us.saturating_sub(p.sent_at_us));
+                        self.obs.rtt_sample(rtt);
+                        self.rtos.update(from, rtt);
+                    }
+                    if self.obs.sampled(id) {
+                        let ev = self.hop_ev(id, HopKind::Ack, from.0, p.hops, p.attempt, rtt, "");
+                        self.obs.hop(ev);
                     }
                 }
             }
@@ -598,7 +656,7 @@ impl Node {
         // Probe every leaf-set member before becoming active.
         for m in self.ls.members() {
             if self.probe(m, ProbeKind::LeafSet, true, fx) {
-                crate::diag::count(crate::diag::ProbeCause::JoinBootstrap);
+                self.obs.cause(ProbeCause::JoinBootstrap);
             }
         }
         if self.probes.leaf_set_outstanding() == 0 {
@@ -681,7 +739,7 @@ impl Node {
             if n != self.id && self.ls.contains(n) {
                 // Confirmation probe: do not re-announce on exhaustion.
                 if self.probe(n, ProbeKind::LeafSet, false, fx) {
-                    crate::diag::count(crate::diag::ProbeCause::Confirm);
+                    self.obs.cause(ProbeCause::Confirm);
                 }
                 self.ls.remove(n);
             }
@@ -696,8 +754,7 @@ impl Node {
             .useful_candidates_filtered(&leaf_set, |n| !failed.contains(&n))
         {
             if self.probe(n, ProbeKind::LeafSet, true, fx) {
-                crate::diag::count(crate::diag::ProbeCause::Candidate);
-                crate::diag::count_pair(self.id.0, n.0);
+                self.obs.cause(ProbeCause::Candidate);
             }
         }
         if is_probe {
@@ -717,8 +774,9 @@ impl Node {
     /// its RTT.
     fn clear_probe(&mut self, j: NodeId) {
         if let Some(st) = self.probes.on_reply(j) {
-            self.rtos
-                .update(j, self.now_us.saturating_sub(st.sent_at_us));
+            let rtt = self.now_us.saturating_sub(st.sent_at_us);
+            self.obs.rtt_sample(rtt);
+            self.rtos.update(j, rtt);
         }
     }
 
@@ -777,7 +835,7 @@ impl Node {
             if self.now_us.saturating_sub(last) >= self.cfg.t_o_us || last == 0 {
                 self.repair_paced.insert(t, self.now_us.max(1));
                 if self.probe(t, ProbeKind::LeafSet, true, fx) {
-                    crate::diag::count(crate::diag::ProbeCause::Repair);
+                    self.obs.cause(ProbeCause::Repair);
                 }
             }
         }
@@ -806,7 +864,7 @@ impl Node {
             // replies provide replacement candidates (§4.1).
             for m in self.ls.members() {
                 if self.probe(m, ProbeKind::LeafSet, true, fx) {
-                    crate::diag::count(crate::diag::ProbeCause::Announce);
+                    self.obs.cause(ProbeCause::Announce);
                 }
             }
         }
@@ -820,8 +878,12 @@ impl Node {
             .map(|(&id, _)| id)
             .collect();
         for id in stranded {
-            crate::diag::bump(2);
+            self.obs.stranded_reroute();
             let p = self.pending.remove(&id).expect("pending entry present");
+            if self.obs.sampled(id) {
+                let ev = self.hop_ev(id, HopKind::Exclude, j.0, p.hops, p.attempt, 0, "stranded");
+                self.obs.hop(ev);
+            }
             let mut excluded = p.excluded;
             if !excluded.contains(&j) {
                 excluded.push(j);
@@ -923,7 +985,7 @@ impl Node {
             if self.now_us.saturating_sub(last) > self.cfg.t_ls_us + self.cfg.t_o_us {
                 // SUSPECT-FAULTY (Fig. 2): silence from the right neighbour.
                 if self.probe(right, ProbeKind::LeafSet, true, fx) {
-                    crate::diag::count(crate::diag::ProbeCause::Suspect);
+                    self.obs.cause(ProbeCause::Suspect);
                 }
             }
         }
@@ -973,6 +1035,7 @@ impl Node {
             .tuner
             .recompute(&self.cfg, self.now_us, m, &self.ls, &state)
             .max(self.cfg.t_rt_floor_us());
+        self.obs.t_rt(self.t_rt_us);
         // Opportunistic pruning of per-peer maps.
         let keep: FxHashSet<NodeId> = state.into_iter().collect();
         let now = self.now_us;
@@ -1039,14 +1102,26 @@ impl Node {
         let (next, empty_slot) = match route(&self.rt, &self.ls, key, &|n| excl.contains(&n)) {
             NextHop::Local => {
                 if !self.active || !self.ls.covers(key) {
-                    fx.actions.push(Action::LookupDropped {
+                    let reason = DropReason::NoRoute;
+                    let ev = self.hop_ev(
                         id,
-                        reason: DropReason::NoRoute,
-                    });
+                        HopKind::Drop,
+                        NO_PEER,
+                        hops,
+                        attempt,
+                        0,
+                        reason.as_str(),
+                    );
+                    self.obs.drop_event(reason, ev);
+                    fx.actions.push(Action::LookupDropped { id, reason });
                     return;
                 }
                 let root = self.ls.closest_to(key, |_| false);
                 if root == self.id {
+                    if self.obs.sampled(id) {
+                        let ev = self.hop_ev(id, HopKind::Deliver, NO_PEER, hops, attempt, 0, "");
+                        self.obs.hop(ev);
+                    }
                     fx.actions.push(Action::Deliver {
                         id,
                         key,
@@ -1086,6 +1161,11 @@ impl Node {
             let rto = self
                 .rtos
                 .rto_us(next, self.cfg.ack_rto_min_us, self.cfg.ack_rto_initial_us);
+            self.obs.ack_rto(rto);
+            if self.obs.sampled(id) {
+                let ev = self.hop_ev(id, HopKind::Forward, next.0, hops + 1, attempt, rto, "");
+                self.obs.hop(ev);
+            }
             self.pending.insert(
                 id,
                 PendingLookup {
@@ -1131,7 +1211,7 @@ impl Node {
             ProbeKind::Liveness
         };
         if self.probe(missed, kind, true, fx) {
-            crate::diag::count(crate::diag::ProbeCause::AckSuspect);
+            self.obs.cause(ProbeCause::AckSuspect);
         }
         // Final hop: `missed` is (still) the key's root from our view. There
         // is no alternative node that could correctly deliver, so retransmit
@@ -1170,7 +1250,8 @@ impl Node {
                 4 + 3 * (self.cfg.max_probe_retries + 1)
             };
             if attempt <= budget {
-                crate::diag::bump(1);
+                self.obs.final_retx();
+                self.obs.retx_attempt(attempt);
                 let rto = self
                     .rtos
                     .rto_us(missed, self.cfg.ack_rto_min_us, self.cfg.ack_rto_initial_us)
@@ -1180,6 +1261,18 @@ impl Node {
                 } else {
                     rto
                 };
+                if self.obs.sampled(id) {
+                    let ev = self.hop_ev(
+                        id,
+                        HopKind::Retransmit,
+                        missed.0,
+                        p.hops + 1,
+                        attempt,
+                        rto,
+                        "final-hop",
+                    );
+                    self.obs.hop(ev);
+                }
                 self.send(
                     missed,
                     Message::Lookup {
@@ -1211,10 +1304,18 @@ impl Node {
                 return;
             }
             if !self.cfg.exclude_root_on_ack_timeout {
-                fx.actions.push(Action::LookupDropped {
+                let reason = DropReason::TooManyReroutes;
+                let ev = self.hop_ev(
                     id,
-                    reason: DropReason::TooManyReroutes,
-                });
+                    HopKind::Drop,
+                    missed.0,
+                    p.hops,
+                    p.attempt,
+                    0,
+                    reason.as_str(),
+                );
+                self.obs.drop_event(reason, ev);
+                fx.actions.push(Action::LookupDropped { id, reason });
                 return;
             }
             // Budget exhausted: fall through to exclude the root and deliver
@@ -1225,11 +1326,24 @@ impl Node {
         // against the budget — same-root retransmissions above must not
         // starve a lookup of its redundant routes.
         if p.reroutes + 1 > self.cfg.ack_max_reroutes {
-            fx.actions.push(Action::LookupDropped {
+            let reason = DropReason::TooManyReroutes;
+            let ev = self.hop_ev(
                 id,
-                reason: DropReason::TooManyReroutes,
-            });
+                HopKind::Drop,
+                missed.0,
+                p.hops,
+                p.attempt,
+                0,
+                reason.as_str(),
+            );
+            self.obs.drop_event(reason, ev);
+            fx.actions.push(Action::LookupDropped { id, reason });
             return;
+        }
+        self.obs.reroute();
+        if self.obs.sampled(id) {
+            let ev = self.hop_ev(id, HopKind::Exclude, missed.0, p.hops, p.attempt, 0, "");
+            self.obs.hop(ev);
         }
         let mut excluded = p.excluded;
         self.suspected.insert(missed);
@@ -1326,15 +1440,16 @@ impl Node {
         fx: &mut Effects,
     ) {
         self.known_dists.insert(target, (rtt, self.now_us));
+        self.obs.rtt_sample(rtt);
         self.rtos.update(target, rtt);
         match purpose {
             MeasurePurpose::NearestNeighbor => self.nn_feed_distance(target, rtt, fx),
             MeasurePurpose::ConsiderRt => {
-                crate::diag::bump(0);
+                self.obs.pns_measured();
                 let outcome = self.rt.offer(target, rtt);
                 use crate::routing_table::InsertOutcome::*;
                 if matches!(outcome, Replaced(_)) {
-                    crate::diag::bump(3);
+                    self.obs.pns_replaced();
                 }
                 let accepted = matches!(outcome, InsertedEmpty | Replaced(_) | Refreshed);
                 if accepted && self.cfg.symmetric_distance_probes {

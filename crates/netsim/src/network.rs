@@ -5,6 +5,7 @@
 //! small random jitter, and is dropped with a configurable uniform loss
 //! probability. Congestion is not modelled, matching the paper's simulator.
 
+use obs::{CounterId, Obs};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use topology::{RouterId, Topology};
@@ -21,11 +22,16 @@ pub struct Network {
     jitter_frac: f64,
     blackout: bool,
     rng: SmallRng,
+    obs: Obs,
+    c_delivered: CounterId,
+    c_lost_random: CounterId,
+    c_lost_blackout: CounterId,
 }
 
 impl Network {
     /// Wraps a topology with no end hosts, no loss and 5 % delay jitter.
     pub fn new(topo: Topology, seed: u64) -> Self {
+        let obs = Obs::disabled();
         Network {
             topo,
             attach: Vec::new(),
@@ -33,7 +39,19 @@ impl Network {
             jitter_frac: 0.05,
             blackout: false,
             rng: SmallRng::seed_from_u64(seed),
+            c_delivered: obs.counter("net.delivered"),
+            c_lost_random: obs.counter("net.lost.random"),
+            c_lost_blackout: obs.counter("net.lost.blackout"),
+            obs,
         }
+    }
+
+    /// Routes the network's delivery/loss counters into a per-run registry.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.c_delivered = obs.counter("net.delivered");
+        self.c_lost_random = obs.counter("net.lost.random");
+        self.c_lost_blackout = obs.counter("net.lost.blackout");
+        self.obs = obs;
     }
 
     /// Sets the uniform message loss probability.
@@ -115,11 +133,14 @@ impl Network {
     /// otherwise the jittered one-way delay.
     pub fn sample_delivery(&mut self, a: EndpointId, b: EndpointId) -> Option<u64> {
         if self.blackout {
+            self.obs.inc(self.c_lost_blackout);
             return None;
         }
         if self.loss_rate > 0.0 && self.rng.gen_bool(self.loss_rate) {
+            self.obs.inc(self.c_lost_random);
             return None;
         }
+        self.obs.inc(self.c_delivered);
         let base = self.base_delay_us(a, b);
         if self.jitter_frac == 0.0 {
             return Some(base);
@@ -203,6 +224,26 @@ mod tests {
     #[should_panic]
     fn invalid_loss_rate_rejected() {
         net().set_loss_rate(1.0);
+    }
+
+    #[test]
+    fn delivery_counters_reach_the_run_registry() {
+        let mut n = net();
+        let run = Obs::new(0.0, 16, false);
+        n.set_obs(run.clone());
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        for _ in 0..10 {
+            n.sample_delivery(a, b);
+        }
+        n.set_blackout(true);
+        for _ in 0..3 {
+            n.sample_delivery(a, b);
+        }
+        let snap = run.snapshot();
+        assert_eq!(snap.counter("net.delivered"), 10);
+        assert_eq!(snap.counter("net.lost.blackout"), 3);
+        assert_eq!(snap.counter("net.lost.random"), 0);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The per-run metrics registry: named counters and histograms.
+//!
+//! Unlike the process-global atomics it replaces, a `Registry` belongs to
+//! one simulation run; parallel runs (e.g. `cargo test`) each get their own
+//! and cannot cross-contaminate. Names are interned once (at node/network
+//! construction), so the hot path is an index into a flat vector.
+
+use crate::hist::{HistSnapshot, Histogram};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Handle to a registered counter (an index; cheap to copy and store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(pub(crate) u32);
+
+#[derive(Debug, Default)]
+struct Inner {
+    counter_index: HashMap<&'static str, u32>,
+    counter_names: Vec<&'static str>,
+    counters: Vec<u64>,
+    hist_index: HashMap<&'static str, u32>,
+    hist_names: Vec<&'static str>,
+    hists: Vec<Histogram>,
+}
+
+/// A per-run collection of named counters and histograms.
+///
+/// Interior-mutable (`RefCell`): the simulator is single-threaded and the
+/// registry handle is shared between the runner, the network and every node.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RefCell<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-finds) a counter by name.
+    pub fn counter(&self, name: &'static str) -> CounterId {
+        let mut g = self.inner.borrow_mut();
+        if let Some(&i) = g.counter_index.get(name) {
+            return CounterId(i);
+        }
+        let i = g.counters.len() as u32;
+        g.counter_index.insert(name, i);
+        g.counter_names.push(name);
+        g.counters.push(0);
+        CounterId(i)
+    }
+
+    /// Registers (or re-finds) a histogram by name.
+    pub fn histogram(&self, name: &'static str) -> HistId {
+        let mut g = self.inner.borrow_mut();
+        if let Some(&i) = g.hist_index.get(name) {
+            return HistId(i);
+        }
+        let i = g.hists.len() as u32;
+        g.hist_index.insert(name, i);
+        g.hist_names.push(name);
+        g.hists.push(Histogram::new());
+        HistId(i)
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.inner.borrow_mut().counters[id.0 as usize] += n;
+    }
+
+    /// Increments a counter.
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Records a histogram sample.
+    #[inline]
+    pub fn record(&self, id: HistId, v: u64) {
+        self.inner.borrow_mut().hists[id.0 as usize].record(v);
+    }
+
+    /// Current value of a counter by name (0 if never registered).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let g = self.inner.borrow();
+        g.counter_index
+            .get(name)
+            .map(|&i| g.counters[i as usize])
+            .unwrap_or(0)
+    }
+
+    /// Freezes all metrics into a name-sorted snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.inner.borrow();
+        let mut counters: Vec<(String, u64)> = g
+            .counter_names
+            .iter()
+            .zip(&g.counters)
+            .map(|(&n, &v)| (n.to_string(), v))
+            .collect();
+        counters.sort();
+        let mut histograms: Vec<(String, HistSnapshot)> = g
+            .hist_names
+            .iter()
+            .zip(&g.hists)
+            .map(|(&n, h)| (n.to_string(), h.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// A frozen, name-sorted view of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistSnapshot)>,
+}
+
+impl Snapshot {
+    /// Counter value by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| &self.histograms[i].1)
+            .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_interned() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a);
+        r.add(b, 2);
+        assert_eq!(r.counter_value("x"), 3);
+        assert_eq!(r.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.inc(r.counter("zeta"));
+        r.add(r.counter("alpha"), 7);
+        r.record(r.histogram("lat"), 100);
+        r.record(r.histogram("lat"), 200);
+        let s = r.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![("alpha".to_string(), 7), ("zeta".to_string(), 1)]
+        );
+        assert_eq!(s.counter("alpha"), 7);
+        assert_eq!(s.counter("nope"), 0);
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, Some(100));
+    }
+
+    #[test]
+    fn separate_registries_do_not_share_state() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.inc(a.counter("c"));
+        assert_eq!(b.counter_value("c"), 0);
+    }
+}

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate mspastry-sim run artifacts.
+
+Usage: check_artifact.py RUN_JSON [TRACE_JSONL]
+
+Checks that RUN_JSON is a well-formed `mspastry-run/1` document, that
+TRACE_JSONL parses line by line, and that at least one sampled lookup's
+hop path can be reconstructed end to end (issue -> forwards covering
+1..=hops -> deliver, with non-decreasing timestamps and an armed RTO on
+every forward). Exits non-zero on any violation.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_artifact: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_run(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "mspastry-run/1":
+        fail(f"unexpected schema tag {doc.get('schema')!r}")
+    for member in ("run", "report", "diag", "trace"):
+        if member not in doc:
+            fail(f"missing top-level member {member!r}")
+    report = doc["report"]
+    for key in ("issued", "delivered", "lost", "incorrect", "mean_rdp", "windows"):
+        if key not in report:
+            fail(f"report missing {key!r}")
+    if report["issued"] <= 0:
+        fail("report.issued is zero — run produced no workload")
+    diag = doc["diag"]
+    if "counters" not in diag or "histograms" not in diag:
+        fail("diag snapshot missing counters/histograms")
+    for hist in ("lookup.latency_us", "lookup.hops", "node.rtt_sample_us"):
+        if hist not in diag["histograms"]:
+            fail(f"diag missing histogram {hist!r}")
+    h = diag["histograms"]["lookup.latency_us"]
+    if h["count"] != sum(c for _, c in h["buckets"]):
+        fail("histogram bucket counts do not sum to count")
+    print(f"check_artifact: {path}: schema ok, issued={report['issued']}, "
+          f"delivered={report['delivered']}, counters={len(diag['counters'])}, "
+          f"histograms={len(diag['histograms'])}")
+    return doc
+
+
+def check_trace(path, expected_events):
+    by_lookup = defaultdict(list)
+    n = 0
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{i}: bad JSONL: {e}")
+            for key in ("t", "kind", "lookup", "node", "hops", "attempt"):
+                if key not in ev:
+                    fail(f"{path}:{i}: missing {key!r}")
+            by_lookup[ev["lookup"]].append(ev)
+            n += 1
+    if expected_events is not None and n != expected_events:
+        fail(f"trace has {n} events, run artifact says {expected_events}")
+
+    reconstructed = 0
+    for lookup, evs in by_lookup.items():
+        if any(a["t"] > b["t"] for a, b in zip(evs, evs[1:])):
+            fail(f"lookup {lookup}: events out of time order")
+        kinds = [e["kind"] for e in evs]
+        if "issue" not in kinds or "deliver" not in kinds:
+            continue  # partial path (e.g. issued before the trace window)
+        deliver = next(e for e in evs if e["kind"] == "deliver")
+        fw_hops = {e["hops"] for e in evs if e["kind"] == "forward"}
+        if not all(h in fw_hops for h in range(1, deliver["hops"] + 1)):
+            fail(f"lookup {lookup}: forwards {sorted(fw_hops)} do not cover "
+                 f"1..{deliver['hops']}")
+        if any(e["kind"] == "forward" and e.get("detail_us", 0) <= 0 for e in evs):
+            fail(f"lookup {lookup}: forward event without an armed RTO")
+        reconstructed += 1
+    if reconstructed == 0:
+        fail("no lookup path could be reconstructed end to end")
+    print(f"check_artifact: {path}: {n} events, {len(by_lookup)} lookups, "
+          f"{reconstructed} complete paths reconstructed")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    doc = check_run(sys.argv[1])
+    if len(sys.argv) > 2:
+        check_trace(sys.argv[2], doc.get("trace", {}).get("events"))
+    print("check_artifact: OK")
+
+
+if __name__ == "__main__":
+    main()
