@@ -2,13 +2,20 @@
 //! simulator with trace-based fault injection, a lookup workload, oracle
 //! consistency checking, and metric collection — the platform described in
 //! §5.1 of the paper.
+//!
+//! Protocol actions are not interpreted here: each node is wrapped in the
+//! shared [`mspastry::Driver`], and the private `SimHost` maps its
+//! [`mspastry::Host`] calls onto the simulator (network, event queue,
+//! metrics, oracle). The UDP transport implements the same trait, so both
+//! deployments run the identical core.
 
 use crate::fxhash::FxHashMap;
 use crate::metrics::{Metrics, Report};
 use crate::oracle::Oracle;
 use churn::{Trace, TraceEvent};
 use mspastry::{
-    Action, Config, Effects, Event, Id, Key, Message, Node, NodeId, Payload, TimerKind,
+    Config, Delivery, Driver, DropReason, Event, Host, Id, Key, LookupId, Message, Node, NodeId,
+    Payload, TimerKind,
 };
 use netsim::{EndpointId, EventQueue, Network};
 use obs::{HistId, HopEvent, Obs};
@@ -227,7 +234,12 @@ pub fn run(cfg: RunConfig) -> RunResult {
     Runner::new(cfg).run()
 }
 
-struct Runner {
+/// Everything the simulator host touches while executing one node's actions.
+///
+/// Split from [`Runner`] so a node's [`Driver`] (borrowed mutably during a
+/// step) and the rest of the simulation state (borrowed mutably by
+/// [`SimHost`]) are disjoint.
+struct World {
     cfg: RunConfig,
     net: Network,
     queue: EventQueue<Ev>,
@@ -237,7 +249,6 @@ struct Runner {
     h_hops: HistId,
     oracle: Oracle,
     rng: SmallRng,
-    nodes: Vec<Option<Node>>,
     node_ids: Vec<NodeId>,
     ep_of_id: FxHashMap<u128, EndpointId>,
     ep_of_session: Vec<Option<EndpointId>>,
@@ -250,16 +261,58 @@ struct Runner {
     /// Join start time per endpoint (`NO_JOIN` once activated), indexed by
     /// endpoint id.
     join_started: Vec<u64>,
-    src_ep: FxHashMap<mspastry::LookupId, EndpointId>,
-    /// Reusable action buffer for `dispatch`, swapped into the per-event
-    /// `Effects` so the hot loop never allocates one.
-    fx_buf: Vec<Action>,
+    src_ep: FxHashMap<LookupId, EndpointId>,
     scripted: Vec<ScriptedLookup>,
     skipped_scripted: u64,
     deliveries: Vec<DeliveryRecord>,
     activations: Vec<(usize, u64)>,
     end_us: u64,
     sim_events: u64,
+}
+
+struct Runner {
+    /// One driver per endpoint (`None` once the session failed); indexed by
+    /// endpoint id, parallel to the `World`'s per-endpoint tables.
+    drivers: Vec<Option<Driver>>,
+    world: World,
+}
+
+/// The simulator's implementation of the protocol [`Host`] surface, scoped
+/// to one event at one endpoint.
+struct SimHost<'a> {
+    ep: EndpointId,
+    now: u64,
+    world: &'a mut World,
+}
+
+impl Host for SimHost<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.world.apply_send(self.now, self.ep, to, msg);
+    }
+
+    fn set_timer(&mut self, delay_us: u64, kind: TimerKind) {
+        self.world.queue.schedule_in(
+            delay_us,
+            Ev::Timer {
+                node: self.ep,
+                kind,
+            },
+        );
+    }
+
+    fn deliver(&mut self, delivery: Delivery) {
+        self.world.apply_deliver(self.now, self.ep, delivery);
+    }
+
+    fn became_active(&mut self) {
+        self.world.apply_became_active(self.now, self.ep);
+    }
+
+    // The node already counted the drop (and echoed it to stderr under
+    // MSPASTRY_DEBUG_DROPS) through the shared obs handle.
+    fn lookup_dropped(&mut self, _id: LookupId, _reason: DropReason) {
+        self.world.metrics.on_drop_report();
+    }
 }
 
 impl Runner {
@@ -284,39 +337,41 @@ impl Runner {
             _ => Vec::new(),
         };
         Runner {
-            net,
-            queue: EventQueue::new(),
-            metrics,
-            obs,
-            h_latency,
-            h_hops,
-            oracle: Oracle::new(),
-            rng,
-            nodes: Vec::new(),
-            node_ids: Vec::new(),
-            ep_of_id: FxHashMap::default(),
-            ep_of_session: vec![None; n_sessions],
-            session_of_ep: Vec::new(),
-            session_state: vec![SessionState::Pending; n_sessions],
-            active_list: Vec::new(),
-            active_pos: Vec::new(),
-            join_started: Vec::new(),
-            src_ep: FxHashMap::default(),
-            fx_buf: Vec::new(),
-            scripted,
-            skipped_scripted: 0,
-            deliveries: Vec::new(),
-            activations: Vec::new(),
-            end_us,
-            sim_events: 0,
-            cfg,
+            drivers: Vec::new(),
+            world: World {
+                net,
+                queue: EventQueue::new(),
+                metrics,
+                obs,
+                h_latency,
+                h_hops,
+                oracle: Oracle::new(),
+                rng,
+                node_ids: Vec::new(),
+                ep_of_id: FxHashMap::default(),
+                ep_of_session: vec![None; n_sessions],
+                session_of_ep: Vec::new(),
+                session_state: vec![SessionState::Pending; n_sessions],
+                active_list: Vec::new(),
+                active_pos: Vec::new(),
+                join_started: Vec::new(),
+                src_ep: FxHashMap::default(),
+                scripted,
+                skipped_scripted: 0,
+                deliveries: Vec::new(),
+                activations: Vec::new(),
+                end_us,
+                sim_events: 0,
+                cfg,
+            },
         }
     }
 
     fn schedule_trace(&mut self) {
+        let w = &mut self.world;
         // Initial sessions (arrival 0) join staggered across the first 80 %
         // of the warmup so the overlay forms incrementally.
-        let initial: Vec<usize> = self
+        let initial: Vec<usize> = w
             .cfg
             .trace
             .sessions()
@@ -325,41 +380,41 @@ impl Runner {
             .filter(|(_, s)| s.arrive_us == 0)
             .map(|(i, _)| i)
             .collect();
-        let spread = self.cfg.warmup_us * 4 / 5;
+        let spread = w.cfg.warmup_us * 4 / 5;
         let k = initial.len().max(1) as u64;
         for (n, &i) in initial.iter().enumerate() {
-            self.queue.schedule_at(n as u64 * spread / k, Ev::Join(i));
+            w.queue.schedule_at(n as u64 * spread / k, Ev::Join(i));
         }
-        for (t, ev) in self.cfg.trace.events() {
+        for (t, ev) in w.cfg.trace.events() {
             match ev {
                 TraceEvent::Join(i) => {
-                    if self.cfg.trace.sessions()[i].arrive_us > 0 {
-                        self.queue.schedule_at(t + self.cfg.warmup_us, Ev::Join(i));
+                    if w.cfg.trace.sessions()[i].arrive_us > 0 {
+                        w.queue.schedule_at(t + w.cfg.warmup_us, Ev::Join(i));
                     }
                 }
                 TraceEvent::Fail(i) => {
-                    self.queue.schedule_at(t + self.cfg.warmup_us, Ev::Fail(i));
+                    w.queue.schedule_at(t + w.cfg.warmup_us, Ev::Fail(i));
                 }
             }
         }
-        for (i, s) in self.scripted.iter().enumerate() {
-            self.queue
-                .schedule_at(s.at_us + self.cfg.warmup_us, Ev::Scripted(i));
+        for (i, s) in w.scripted.iter().enumerate() {
+            w.queue
+                .schedule_at(s.at_us + w.cfg.warmup_us, Ev::Scripted(i));
         }
-        for &(start, end) in &self.cfg.outages {
+        for &(start, end) in &w.cfg.outages {
             assert!(start < end, "outage must start before it ends");
-            self.queue
-                .schedule_at(start + self.cfg.warmup_us, Ev::Outage(true));
-            self.queue
-                .schedule_at(end + self.cfg.warmup_us, Ev::Outage(false));
+            w.queue
+                .schedule_at(start + w.cfg.warmup_us, Ev::Outage(true));
+            w.queue
+                .schedule_at(end + w.cfg.warmup_us, Ev::Outage(false));
         }
-        self.queue.schedule_at(self.end_us, Ev::End);
+        w.queue.schedule_at(w.end_us, Ev::End);
     }
 
     fn run(mut self) -> RunResult {
         self.schedule_trace();
-        while let Some(ev) = self.queue.pop() {
-            self.sim_events += 1;
+        while let Some(ev) = self.world.queue.pop() {
+            self.world.sim_events += 1;
             let now = ev.at_us;
             match ev.payload {
                 Ev::End => break,
@@ -373,24 +428,26 @@ impl Runner {
                 }
                 Ev::NextLookup { node } => self.on_next_lookup(now, node),
                 Ev::Scripted(i) => self.on_scripted(now, i),
-                Ev::Outage(on) => self.net.set_blackout(on),
+                Ev::Outage(on) => self.world.net.set_blackout(on),
             }
         }
-        let final_active = self.active_list.len();
+        let mut w = self.world;
+        let final_active = w.active_list.len();
         let mut trt_sum = 0.0;
         let mut trt_n = 0u64;
-        for n in self.nodes.iter().flatten() {
+        for d in self.drivers.iter().flatten() {
+            let n = d.node();
             if n.is_active() {
                 trt_sum += n.t_rt_us() as f64;
                 trt_n += 1;
             }
         }
-        let ring_defects = self.count_ring_defects();
+        let ring_defects = count_ring_defects(&self.drivers, &w);
         let mut rt_total = 0u64;
         let mut rt_unknown = 0u64;
         let mut rt_dist_sum = 0.0f64;
-        for n in self.nodes.iter().flatten() {
-            for e in n.routing_table().entries() {
+        for d in self.drivers.iter().flatten() {
+            for e in d.node().routing_table().entries() {
                 rt_total += 1;
                 if e.distance_us == mspastry::routing_table::DIST_UNKNOWN {
                     rt_unknown += 1;
@@ -399,27 +456,27 @@ impl Runner {
                 }
             }
         }
-        let report = self.metrics.finalize(self.end_us);
-        let diag = self.obs.snapshot();
-        let (trace_events, trace_overwritten) = self.obs.take_trace();
+        let report = w.metrics.finalize(w.end_us);
+        let diag = w.obs.snapshot();
+        let (trace_events, trace_overwritten) = w.obs.take_trace();
         RunResult {
             report,
             diag,
             trace_events,
             trace_overwritten,
-            trace_name: self.cfg.trace.name().to_string(),
-            topology_name: self.net.topology().name(),
+            trace_name: w.cfg.trace.name().to_string(),
+            topology_name: w.net.topology().name(),
             final_active,
             mean_t_rt_us: if trt_n > 0 {
                 trt_sum / trt_n as f64
             } else {
                 0.0
             },
-            sim_events: self.sim_events,
-            skipped_scripted: self.skipped_scripted,
+            sim_events: w.sim_events,
+            skipped_scripted: w.skipped_scripted,
             ring_defects,
-            deliveries: self.deliveries,
-            activations: self.activations,
+            deliveries: std::mem::take(&mut w.deliveries),
+            activations: std::mem::take(&mut w.activations),
             rt_unknown_fraction: if rt_total > 0 {
                 rt_unknown as f64 / rt_total as f64
             } else {
@@ -433,51 +490,26 @@ impl Runner {
         }
     }
 
-    /// Compares every active node's immediate leaf-set neighbours with the
-    /// true ring (sorted active identifiers).
-    fn count_ring_defects(&self) -> u64 {
-        let mut ids: Vec<NodeId> = self.active_list.iter().map(|&e| self.node_ids[e]).collect();
-        if ids.len() < 2 {
-            return 0;
-        }
-        ids.sort();
-        let pos = |id: NodeId| ids.binary_search(&id).expect("active id in ring");
-        let mut defects = 0u64;
-        for &e in &self.active_list {
-            let Some(node) = self.nodes[e].as_ref() else {
-                continue;
-            };
-            let id = self.node_ids[e];
-            let p = pos(id);
-            let true_right = ids[(p + 1) % ids.len()];
-            let true_left = ids[(p + ids.len() - 1) % ids.len()];
-            let ls = node.leaf_set();
-            if ls.right_neighbor() != Some(true_right) || ls.left_neighbor() != Some(true_left) {
-                defects += 1;
-            }
-        }
-        defects
-    }
-
     fn on_trace_join(&mut self, now: u64, session: usize) {
-        if self.session_state[session] != SessionState::Pending {
+        let w = &mut self.world;
+        if w.session_state[session] != SessionState::Pending {
             return; // failed before it could join
         }
-        self.session_state[session] = SessionState::Alive;
-        let ep = self.net.add_endpoint();
-        let id = Id::random(&mut self.rng);
-        debug_assert_eq!(ep, self.nodes.len());
-        self.nodes.push(Some(Node::with_obs(
+        w.session_state[session] = SessionState::Alive;
+        let ep = w.net.add_endpoint();
+        let id = Id::random(&mut w.rng);
+        debug_assert_eq!(ep, self.drivers.len());
+        self.drivers.push(Some(Driver::new(Node::with_obs(
             id,
-            self.cfg.protocol.clone(),
-            self.obs.clone(),
-        )));
-        self.node_ids.push(id);
-        self.session_of_ep.push(session);
-        self.active_pos.push(NOT_ACTIVE);
-        self.join_started.push(now);
-        self.ep_of_id.insert(id.0, ep);
-        self.ep_of_session[session] = Some(ep);
+            w.cfg.protocol.clone(),
+            w.obs.clone(),
+        ))));
+        w.node_ids.push(id);
+        w.session_of_ep.push(session);
+        w.active_pos.push(NOT_ACTIVE);
+        w.join_started.push(now);
+        w.ep_of_id.insert(id.0, ep);
+        w.ep_of_session[session] = Some(ep);
         let seed = self.pick_seed(ep);
         self.dispatch(now, ep, Event::Join { seed });
     }
@@ -485,60 +517,55 @@ impl Runner {
     /// A random active node, or any alive node if none is active yet, or
     /// `None` for the very first node.
     fn pick_seed(&mut self, joiner: EndpointId) -> Option<NodeId> {
-        if !self.active_list.is_empty() {
-            let ep = self.active_list[self.rng.gen_range(0..self.active_list.len())];
-            return Some(self.node_ids[ep]);
+        let w = &mut self.world;
+        if !w.active_list.is_empty() {
+            let ep = w.active_list[w.rng.gen_range(0..w.active_list.len())];
+            return Some(w.node_ids[ep]);
         }
         // Rare fallback (no active node yet): draw the k-th alive node by a
         // counting pass instead of materialising the alive set.
-        let alive = |e: &usize| *e != joiner && self.nodes[*e].is_some();
-        let n_alive = (0..self.nodes.len()).filter(alive).count();
+        let alive = |e: &usize| *e != joiner && self.drivers[*e].is_some();
+        let n_alive = (0..self.drivers.len()).filter(alive).count();
         if n_alive == 0 {
             None
         } else {
-            let k = self.rng.gen_range(0..n_alive);
-            let ep = (0..self.nodes.len())
+            let k = w.rng.gen_range(0..n_alive);
+            let ep = (0..self.drivers.len())
                 .filter(alive)
                 .nth(k)
                 .expect("k < n_alive");
-            Some(self.node_ids[ep])
+            Some(w.node_ids[ep])
         }
     }
 
     fn on_trace_fail(&mut self, now: u64, session: usize) {
-        match self.session_state[session] {
+        match self.world.session_state[session] {
             SessionState::Pending => {
-                self.session_state[session] = SessionState::Dead;
+                self.world.session_state[session] = SessionState::Dead;
             }
             SessionState::Dead => {}
             SessionState::Alive => {
-                self.session_state[session] = SessionState::Dead;
-                let ep = self.ep_of_session[session].expect("alive session has endpoint");
-                let was_active = self.nodes[ep].as_ref().is_some_and(|n| n.is_active());
+                self.world.session_state[session] = SessionState::Dead;
+                let ep = self.world.ep_of_session[session].expect("alive session has endpoint");
+                let was_active = self.drivers[ep]
+                    .as_ref()
+                    .is_some_and(|d| d.node().is_active());
                 if was_active
-                    && self.cfg.graceful_leave_fraction > 0.0
-                    && self.rng.gen_bool(self.cfg.graceful_leave_fraction)
+                    && self.world.cfg.graceful_leave_fraction > 0.0
+                    && self
+                        .world
+                        .rng
+                        .gen_bool(self.world.cfg.graceful_leave_fraction)
                 {
                     // The node says goodbye before the plug is pulled.
                     self.dispatch(now, ep, Event::Leave);
                 }
-                self.nodes[ep] = None;
+                self.drivers[ep] = None;
                 if was_active {
-                    self.oracle.remove(self.node_ids[ep]);
-                    self.metrics.set_active_delta(now, -1);
-                    self.remove_active(ep);
+                    self.world.oracle.remove(self.world.node_ids[ep]);
+                    self.world.metrics.set_active_delta(now, -1);
+                    self.world.remove_active(ep);
                 }
-            }
-        }
-    }
-
-    fn remove_active(&mut self, ep: EndpointId) {
-        let pos = std::mem::replace(&mut self.active_pos[ep], NOT_ACTIVE);
-        if pos != NOT_ACTIVE {
-            let last = self.active_list.pop().unwrap();
-            if last != ep {
-                self.active_list[pos as usize] = last;
-                self.active_pos[last] = pos;
             }
         }
     }
@@ -546,31 +573,35 @@ impl Runner {
     fn on_next_lookup(&mut self, now: u64, ep: EndpointId) {
         let Workload::Poisson {
             rate_per_node_per_sec,
-        } = self.cfg.workload
+        } = self.world.cfg.workload
         else {
             return;
         };
-        let Some(node) = &self.nodes[ep] else {
-            return;
-        };
-        if !node.is_active() {
+        let usable = self.drivers[ep]
+            .as_ref()
+            .is_some_and(|d| d.node().is_active());
+        if !usable {
             return;
         }
-        let key = Id::random(&mut self.rng);
+        let key = Id::random(&mut self.world.rng);
         self.dispatch(now, ep, Event::Lookup { key, payload: 0 });
-        let delay = exp_interval_us(&mut self.rng, rate_per_node_per_sec);
-        self.queue.schedule_in(delay, Ev::NextLookup { node: ep });
+        let delay = exp_interval_us(&mut self.world.rng, rate_per_node_per_sec);
+        self.world
+            .queue
+            .schedule_in(delay, Ev::NextLookup { node: ep });
     }
 
     fn on_scripted(&mut self, now: u64, idx: usize) {
-        let s = self.scripted[idx];
-        let Some(ep) = self.ep_of_session[s.session] else {
-            self.skipped_scripted += 1;
+        let s = self.world.scripted[idx];
+        let Some(ep) = self.world.ep_of_session[s.session] else {
+            self.world.skipped_scripted += 1;
             return;
         };
-        let usable = self.nodes[ep].as_ref().is_some_and(|n| n.is_active());
+        let usable = self.drivers[ep]
+            .as_ref()
+            .is_some_and(|d| d.node().is_active());
         if !usable {
-            self.skipped_scripted += 1;
+            self.world.skipped_scripted += 1;
             return;
         }
         self.dispatch(
@@ -583,97 +614,115 @@ impl Runner {
         );
     }
 
+    /// Feeds one event to the endpoint's driver; the driver's [`Host`] calls
+    /// land on [`SimHost`], which mutates the `World` (never the drivers, so
+    /// the split borrow is safe and the step cannot re-enter itself).
     fn dispatch(&mut self, now: u64, ep: EndpointId, event: Event) {
-        let Some(node) = self.nodes[ep].as_mut() else {
+        let Some(driver) = self.drivers[ep].as_mut() else {
             return;
         };
-        // Hand the node the runner's scratch buffer instead of a fresh
-        // allocation per event; `apply` never re-enters `dispatch`, so the
-        // round-trip is safe.
-        let mut fx = Effects {
-            actions: std::mem::take(&mut self.fx_buf),
+        let mut host = SimHost {
+            ep,
+            now,
+            world: &mut self.world,
         };
-        node.handle(now, event, &mut fx);
-        let mut actions = fx.drain();
-        self.apply(now, ep, &mut actions);
-        actions.clear();
-        self.fx_buf = actions;
+        driver.step(now, event, &mut host);
+    }
+}
+
+/// Compares every active node's immediate leaf-set neighbours with the
+/// true ring (sorted active identifiers).
+fn count_ring_defects(drivers: &[Option<Driver>], w: &World) -> u64 {
+    let mut ids: Vec<NodeId> = w.active_list.iter().map(|&e| w.node_ids[e]).collect();
+    if ids.len() < 2 {
+        return 0;
+    }
+    ids.sort();
+    let pos = |id: NodeId| ids.binary_search(&id).expect("active id in ring");
+    let mut defects = 0u64;
+    for &e in &w.active_list {
+        let Some(node) = drivers[e].as_ref().map(|d| d.node()) else {
+            continue;
+        };
+        let id = w.node_ids[e];
+        let p = pos(id);
+        let true_right = ids[(p + 1) % ids.len()];
+        let true_left = ids[(p + ids.len() - 1) % ids.len()];
+        let ls = node.leaf_set();
+        if ls.right_neighbor() != Some(true_right) || ls.left_neighbor() != Some(true_left) {
+            defects += 1;
+        }
+    }
+    defects
+}
+
+impl World {
+    fn remove_active(&mut self, ep: EndpointId) {
+        let pos = std::mem::replace(&mut self.active_pos[ep], NOT_ACTIVE);
+        if pos != NOT_ACTIVE {
+            let last = self.active_list.pop().unwrap();
+            if last != ep {
+                self.active_list[pos as usize] = last;
+                self.active_pos[last] = pos;
+            }
+        }
     }
 
-    fn apply(&mut self, now: u64, ep: EndpointId, actions: &mut Vec<Action>) {
-        for a in actions.drain(..) {
-            match a {
-                Action::Send { to, msg } => self.apply_send(now, ep, to, msg),
-                Action::SetTimer { delay_us, kind } => {
-                    self.queue
-                        .schedule_in(delay_us, Ev::Timer { node: ep, kind });
-                }
-                Action::Deliver {
-                    id,
-                    key,
-                    payload,
-                    hops,
-                    issued_at_us,
-                    replica_set,
-                } => {
-                    let deliverer = self.node_ids[ep];
-                    let correct = self.oracle.root_of(key) == Some(deliverer);
-                    let direct = match self.src_ep.get(&id) {
-                        Some(&src) if src != ep => self.net.base_delay_us(src, ep),
-                        _ => 0,
-                    };
-                    self.metrics.sight_lookup(id, issued_at_us);
-                    self.metrics
-                        .on_delivered(now, id, issued_at_us, correct, hops, direct);
-                    if issued_at_us >= self.cfg.warmup_us {
-                        self.obs
-                            .record(self.h_latency, now.saturating_sub(issued_at_us));
-                        self.obs.record(self.h_hops, hops as u64);
-                    }
-                    if self.cfg.record_deliveries {
-                        let replica_sessions = replica_set
-                            .iter()
-                            .filter_map(|id| self.ep_of_id.get(&id.0))
-                            .map(|&e| self.session_of_ep[e])
-                            .collect();
-                        self.deliveries.push(DeliveryRecord {
-                            at_us: now,
-                            session: self.session_of_ep[ep],
-                            key,
-                            payload,
-                            correct,
-                            issued_at_us,
-                            hops,
-                            replica_sessions,
-                        });
-                    }
-                }
-                Action::BecameActive => {
-                    let id = self.node_ids[ep];
-                    if !self.oracle.contains(id) {
-                        self.oracle.insert(id);
-                        self.metrics.set_active_delta(now, 1);
-                        self.active_pos[ep] = self.active_list.len() as u32;
-                        self.active_list.push(ep);
-                        self.activations.push((self.session_of_ep[ep], now));
-                        let start = std::mem::replace(&mut self.join_started[ep], NO_JOIN);
-                        if start != NO_JOIN && now >= self.cfg.warmup_us {
-                            self.metrics.on_join_latency(now - start);
-                        }
-                        if let Workload::Poisson {
-                            rate_per_node_per_sec,
-                        } = self.cfg.workload
-                        {
-                            let first = now.max(self.cfg.warmup_us).saturating_add(
-                                exp_interval_us(&mut self.rng, rate_per_node_per_sec),
-                            );
-                            self.queue.schedule_at(first, Ev::NextLookup { node: ep });
-                        }
-                    }
-                }
-                // The node already counted the drop (and echoed it to stderr
-                // under MSPASTRY_DEBUG_DROPS) through the shared obs handle.
-                Action::LookupDropped { .. } => self.metrics.on_drop_report(),
+    fn apply_deliver(&mut self, now: u64, ep: EndpointId, d: Delivery) {
+        let deliverer = self.node_ids[ep];
+        let correct = self.oracle.root_of(d.key) == Some(deliverer);
+        let direct = match self.src_ep.get(&d.id) {
+            Some(&src) if src != ep => self.net.base_delay_us(src, ep),
+            _ => 0,
+        };
+        self.metrics.sight_lookup(d.id, d.issued_at_us);
+        self.metrics
+            .on_delivered(now, d.id, d.issued_at_us, correct, d.hops, direct);
+        if d.issued_at_us >= self.cfg.warmup_us {
+            self.obs
+                .record(self.h_latency, now.saturating_sub(d.issued_at_us));
+            self.obs.record(self.h_hops, d.hops as u64);
+        }
+        if self.cfg.record_deliveries {
+            let replica_sessions = d
+                .replica_set
+                .iter()
+                .filter_map(|id| self.ep_of_id.get(&id.0))
+                .map(|&e| self.session_of_ep[e])
+                .collect();
+            self.deliveries.push(DeliveryRecord {
+                at_us: now,
+                session: self.session_of_ep[ep],
+                key: d.key,
+                payload: d.payload,
+                correct,
+                issued_at_us: d.issued_at_us,
+                hops: d.hops,
+                replica_sessions,
+            });
+        }
+    }
+
+    fn apply_became_active(&mut self, now: u64, ep: EndpointId) {
+        let id = self.node_ids[ep];
+        if !self.oracle.contains(id) {
+            self.oracle.insert(id);
+            self.metrics.set_active_delta(now, 1);
+            self.active_pos[ep] = self.active_list.len() as u32;
+            self.active_list.push(ep);
+            self.activations.push((self.session_of_ep[ep], now));
+            let start = std::mem::replace(&mut self.join_started[ep], NO_JOIN);
+            if start != NO_JOIN && now >= self.cfg.warmup_us {
+                self.metrics.on_join_latency(now - start);
+            }
+            if let Workload::Poisson {
+                rate_per_node_per_sec,
+            } = self.cfg.workload
+            {
+                let first = now
+                    .max(self.cfg.warmup_us)
+                    .saturating_add(exp_interval_us(&mut self.rng, rate_per_node_per_sec));
+                self.queue.schedule_at(first, Ev::NextLookup { node: ep });
             }
         }
     }

@@ -64,6 +64,7 @@ pub(crate) struct NodeObs {
     final_retx: CounterId,
     stranded_reroute: CounterId,
     reroutes: CounterId,
+    stray_acks: CounterId,
     rtt_sample_us: HistId,
     ack_rto_us: HistId,
     t_rt_us: HistId,
@@ -80,6 +81,7 @@ impl NodeObs {
             final_retx: obs.counter("lookup.final-retx"),
             stranded_reroute: obs.counter("lookup.stranded-reroute"),
             reroutes: obs.counter("lookup.reroutes"),
+            stray_acks: obs.counter("lookup.stray-ack"),
             rtt_sample_us: obs.histogram("node.rtt_sample_us"),
             ack_rto_us: obs.histogram("node.ack_rto_us"),
             t_rt_us: obs.histogram("node.t_rt_us"),
@@ -116,6 +118,13 @@ impl NodeObs {
     #[inline]
     pub(crate) fn reroute(&self) {
         self.obs.inc(self.reroutes);
+    }
+
+    /// Counts an ack whose pending entry was already resolved (duplicate, or
+    /// the lookup was rerouted before the ack arrived).
+    #[inline]
+    pub(crate) fn stray_ack(&self) {
+        self.obs.inc(self.stray_acks);
     }
 
     /// Records an RTT sample feeding the RTO estimator.

@@ -1,0 +1,251 @@
+//! The shared event-loop driver: one action-execution layer for every host.
+//!
+//! The simulator (`harness::Runner`) and the UDP deployment
+//! (`transport::UdpNode`) used to each carry their own copy of the loop that
+//! feeds a [`Node`] events and interprets the [`Action`]s it emits. That
+//! duplication is exactly what the paper's "same code in the simulator and
+//! in the real deployment" property forbids: the two copies could silently
+//! diverge. This module extracts the loop once:
+//!
+//! * [`Host`] is the narrow wire/clock/application surface a deployment must
+//!   provide — send a message, arm a one-shot timer, hand a delivery to the
+//!   application, observe activation and drops.
+//! * [`Driver`] owns the [`Node`] plus a reusable action buffer and runs the
+//!   interpretation loop allocation-free: `step` swaps the buffer into the
+//!   node's [`Effects`], dispatches each resulting action to the host, and
+//!   keeps the buffer's capacity for the next event.
+//! * [`Clock`] abstracts the host's time source; [`WallClock`] is the
+//!   real-time implementation used by the UDP transport. The simulator's
+//!   virtual time comes straight from its event queue, so it passes
+//!   timestamps to [`Driver::step`] directly.
+//!
+//! Hosts never match on [`Action`] themselves; protocol outputs reach them
+//! only through the [`Host`] trait, so sim and deployment cannot drift.
+
+use crate::events::{Action, DropReason, Effects, Event, TimerKind};
+use crate::id::{Key, NodeId};
+use crate::messages::{LookupId, Message, Payload};
+use crate::node::Node;
+use std::time::Instant;
+
+/// A lookup that reached its root, handed to the host's application layer.
+///
+/// This is [`Action::Deliver`] flattened into a struct so hosts receive one
+/// typed value instead of destructuring an enum variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// End-to-end lookup identity.
+    pub id: LookupId,
+    /// The destination key.
+    pub key: Key,
+    /// The application payload.
+    pub payload: Payload,
+    /// Overlay hops the lookup took.
+    pub hops: u32,
+    /// When the lookup was issued, microseconds.
+    pub issued_at_us: u64,
+    /// The deliverer's leaf-set members closest to the key (up to 8), for
+    /// application-level replication.
+    pub replica_set: Vec<NodeId>,
+}
+
+/// What a deployment must provide for the protocol core to run on it: a wire
+/// to send messages, a timer service, and sinks for application-visible
+/// events. Implemented by the simulator and by the UDP event loop.
+pub trait Host {
+    /// Transmit `msg` to `to` (lossy, unordered delivery is fine).
+    fn send(&mut self, to: NodeId, msg: Message);
+    /// Arm a one-shot timer: feed `Event::Timer(kind)` back into the driver
+    /// `delay_us` microseconds from the current event's time. Timers are
+    /// never cancelled; stale ones are ignored by the node.
+    fn set_timer(&mut self, delay_us: u64, kind: TimerKind);
+    /// A lookup was delivered at this node (it is the key's root).
+    fn deliver(&mut self, delivery: Delivery);
+    /// The node completed its join and became active.
+    fn became_active(&mut self);
+    /// A lookup was dropped; reported for loss accounting.
+    fn lookup_dropped(&mut self, id: LookupId, reason: DropReason);
+}
+
+/// Owns a [`Node`] and executes its actions against a [`Host`].
+///
+/// The driver keeps one reusable action buffer per node, so steady-state
+/// event handling performs no allocation (the simulator's hot path processes
+/// hundreds of millions of events).
+#[derive(Debug)]
+pub struct Driver {
+    node: Node,
+    buf: Vec<Action>,
+}
+
+impl Driver {
+    /// Wraps a node in a driver with a warm action buffer.
+    pub fn new(node: Node) -> Self {
+        Driver {
+            node,
+            buf: Vec::with_capacity(16),
+        }
+    }
+
+    /// Read access to the driven node (for metrics and tests).
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// Feeds one event to the node at time `now_us` and dispatches every
+    /// resulting action to `host`.
+    pub fn step(&mut self, now_us: u64, event: Event, host: &mut impl Host) {
+        let mut fx = Effects {
+            actions: std::mem::take(&mut self.buf),
+        };
+        fx.actions.clear();
+        self.node.handle(now_us, event, &mut fx);
+        for action in fx.actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => host.send(to, msg),
+                Action::SetTimer { delay_us, kind } => host.set_timer(delay_us, kind),
+                Action::Deliver {
+                    id,
+                    key,
+                    payload,
+                    hops,
+                    issued_at_us,
+                    replica_set,
+                } => host.deliver(Delivery {
+                    id,
+                    key,
+                    payload,
+                    hops,
+                    issued_at_us,
+                    replica_set,
+                }),
+                Action::BecameActive => host.became_active(),
+                Action::LookupDropped { id, reason } => host.lookup_dropped(id, reason),
+            }
+        }
+        self.buf = fx.actions;
+    }
+}
+
+/// A monotonic time source for hosts that run on real time.
+pub trait Clock {
+    /// Microseconds elapsed since the clock's epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// The real-time [`Clock`]: microseconds since construction, monotonic.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Starts a clock whose epoch is now.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::id::Id;
+
+    /// Records every host call-back for assertion.
+    #[derive(Default)]
+    struct MockHost {
+        sent: Vec<(NodeId, Message)>,
+        timers: Vec<(u64, TimerKind)>,
+        delivered: Vec<Delivery>,
+        activations: usize,
+        drops: Vec<(LookupId, DropReason)>,
+    }
+
+    impl Host for MockHost {
+        fn send(&mut self, to: NodeId, msg: Message) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, delay_us: u64, kind: TimerKind) {
+            self.timers.push((delay_us, kind));
+        }
+        fn deliver(&mut self, delivery: Delivery) {
+            self.delivered.push(delivery);
+        }
+        fn became_active(&mut self) {
+            self.activations += 1;
+        }
+        fn lookup_dropped(&mut self, id: LookupId, reason: DropReason) {
+            self.drops.push((id, reason));
+        }
+    }
+
+    fn cfg() -> Config {
+        Config {
+            nearest_neighbor_join: false,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn driver_routes_every_action_kind_to_the_host() {
+        let mut d = Driver::new(Node::new(Id(42), cfg()));
+        let mut host = MockHost::default();
+        d.step(0, Event::Join { seed: None }, &mut host);
+        assert_eq!(host.activations, 1, "bootstrap join activates");
+        assert!(!host.timers.is_empty(), "periodic timers armed");
+        // A singleton overlay delivers every lookup locally.
+        d.step(
+            1,
+            Event::Lookup {
+                key: Id(7),
+                payload: 3,
+            },
+            &mut host,
+        );
+        assert_eq!(host.delivered.len(), 1);
+        assert_eq!(host.delivered[0].payload, 3);
+        assert!(d.node().is_active());
+    }
+
+    #[test]
+    fn driver_reuses_its_action_buffer() {
+        let mut d = Driver::new(Node::new(Id(42), cfg()));
+        let mut host = MockHost::default();
+        d.step(0, Event::Join { seed: None }, &mut host);
+        let cap = d.buf.capacity();
+        assert!(cap > 0, "buffer kept after the first step");
+        d.step(
+            1,
+            Event::Lookup {
+                key: Id(7),
+                payload: 0,
+            },
+            &mut host,
+        );
+        assert!(d.buf.capacity() >= cap.min(2), "capacity retained");
+        assert!(d.buf.is_empty(), "buffer drained between steps");
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+}

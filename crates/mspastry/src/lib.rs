@@ -24,9 +24,12 @@
 //!
 //! The [`node::Node`] state machine performs no I/O: the host feeds it
 //! [`events::Event`]s and executes the [`events::Action`]s it returns. The
-//! companion `netsim`/`harness` crates bind it to a packet-level network
-//! simulator to reproduce the paper's evaluation; a real UDP binding could
-//! reuse the same state machine unchanged.
+//! protocol logic is layered into one private module per mechanism
+//! (`consistency`, `reliability`, `maintenance`, `measurement`) glued by the
+//! dispatcher in [`node`]. Hosts do not interpret actions themselves: the
+//! shared [`driver`] layer executes them against a narrow [`driver::Host`]
+//! trait, so the companion `netsim`/`harness` simulator and the `transport`
+//! UDP binding drive the identical core.
 //!
 //! # Example
 //!
@@ -50,21 +53,27 @@
 
 pub mod codec;
 pub mod config;
+mod consistency;
 pub mod diag;
+pub mod driver;
 pub mod events;
 pub mod fxhash;
 pub mod id;
 pub mod leaf_set;
+mod maintenance;
+mod measurement;
 pub mod messages;
 pub mod node;
 pub mod pns;
 pub mod probes;
+mod reliability;
 pub mod routing;
 pub mod routing_table;
 pub mod rto;
 pub mod tuning;
 
 pub use config::Config;
+pub use driver::{Clock, Delivery, Driver, Host, WallClock};
 pub use events::{Action, DropReason, Effects, Event, TimerKind};
 pub use id::{Id, Key, NodeId};
 pub use messages::{Category, LookupId, Message, Payload};

@@ -1,163 +1,59 @@
-//! The MSPastry node state machine.
+//! The MSPastry node: shared state, the event dispatcher, and the glue
+//! between the layered protocol modules.
 //!
 //! A [`Node`] is pure protocol logic: the host feeds it [`Event`]s together
-//! with the current clock and executes the [`Action`]s it emits. The
-//! implementation follows the simplified algorithm of the paper's Figure 2
-//! plus the reliability (§3.2) and performance (§4) techniques:
+//! with the current clock and executes the [`crate::events::Action`]s it
+//! emits (the shared
+//! [`crate::driver`] layer does exactly that for both the simulator and the
+//! UDP deployment). The protocol mechanisms themselves live in four sibling
+//! modules, one per technique of the paper, each holding its own state
+//! struct plus the `impl Node` handlers for its events:
 //!
-//! * consistent routing — activation gated on leaf-set probing, eager leaf-set
-//!   repair, no dead-node propagation;
-//! * reliable routing — per-hop acks with aggressive retransmission and
-//!   rerouting, active probing of leaf set and routing table;
-//! * low overhead — heartbeats only to the left neighbour, self-tuned
-//!   routing-table probe period, probe suppression by regular traffic, and
-//!   symmetric distance probes for PNS.
+//! * `consistency` — the join protocol, the LS-PROBE/REPLY state machine and
+//!   leaf-set repair (§3.1, Fig. 2);
+//! * `reliability` — per-hop acks, retransmission, RTO arming and temporary
+//!   exclusion of suspects (§3.2);
+//! * `maintenance` — heartbeats, active routing-table probing, periodic RT
+//!   maintenance and the self-tuning tick (§4.1);
+//! * `measurement` — distance probing and nearest-neighbour discovery for
+//!   proximity neighbour selection (§4.2).
+//!
+//! The cross-cutting context — identifier, configuration, clock, RNG and
+//! observability — is grouped in one `Ctx` threaded explicitly through every
+//! handler, so each module touches only the state it owns plus the context.
 
 use crate::config::Config;
-use crate::diag::{NodeObs, ProbeCause};
-use crate::events::{Action, DropReason, Effects, Event, TimerKind};
-use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::id::{Id, Key, NodeId};
+use crate::consistency::Consistency;
+use crate::diag::NodeObs;
+use crate::events::{Effects, Event, TimerKind};
+use crate::id::{Key, NodeId};
 use crate::leaf_set::LeafSet;
-use crate::messages::{LookupId, Message, Payload};
-use crate::pns::{DistanceMeasurer, MeasurePurpose, MeasureTimeout, NnState, NnStep, ReplyOutcome};
-use crate::probes::{ProbeKind, ProbeManager, TimeoutVerdict};
-use crate::routing::{route, NextHop};
-use crate::routing_table::{RoutingTable, DIST_UNKNOWN};
-use crate::rto::RtoTable;
-use crate::tuning::SelfTuner;
-use obs::{HopEvent, HopKind, NO_PEER};
+use crate::maintenance::Maintenance;
+use crate::measurement::Measurement;
+use crate::messages::{LookupId, Message};
+use crate::reliability::Reliability;
+use crate::routing_table::RoutingTable;
+use obs::{HopEvent, HopKind};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use rand::SeedableRng;
 
-/// A lookup buffered or in flight at this node, awaiting a per-hop ack.
-#[derive(Debug, Clone)]
-struct PendingLookup {
-    key: Key,
-    payload: Payload,
-    hops: u32,
-    issued_at_us: u64,
-    excluded: Vec<NodeId>,
-    attempt: u32,
-    /// How many times the lookup was re-routed around a suspect (excluding
-    /// same-root retransmissions, which have their own budget).
-    reroutes: u32,
-    next: NodeId,
-    sent_at_us: u64,
-}
-
-/// A lookup buffered while the node is still joining.
-#[derive(Debug, Clone)]
-struct BufferedLookup {
-    id: LookupId,
-    key: Key,
-    payload: Payload,
-    hops: u32,
-    issued_at_us: u64,
-    wants_acks: bool,
-}
-
-/// An MSPastry overlay node.
+/// Cross-cutting per-node context shared by every protocol module: identity,
+/// configuration, the host-supplied clock, the deterministic RNG and the
+/// observability handles.
 #[derive(Debug)]
-pub struct Node {
-    id: NodeId,
-    cfg: Config,
-    now_us: u64,
-    active: bool,
-    rt: RoutingTable,
-    ls: LeafSet,
-    probes: ProbeManager,
-    probe_nonce: u64,
-    failed: FxHashSet<NodeId>,
-    failed_order: VecDeque<NodeId>,
-    suspected: FxHashSet<NodeId>,
-    last_heard: FxHashMap<NodeId, u64>,
-    last_sent: FxHashMap<NodeId, u64>,
-    repair_paced: FxHashMap<NodeId, u64>,
-    rtos: RtoTable,
-    tuner: SelfTuner,
-    t_rt_us: u64,
-    measurer: DistanceMeasurer,
-    /// Measured round-trip distances with their measurement time; doubles
-    /// as a negative cache so rejected routing-table candidates are not
-    /// re-measured at every maintenance round.
-    known_dists: FxHashMap<NodeId, (u64, u64)>,
-    nn: Option<NnState>,
-    join_seed: Option<NodeId>,
-    pending: FxHashMap<LookupId, PendingLookup>,
-    seen: FxHashSet<LookupId>,
-    seen_order: VecDeque<LookupId>,
-    buffered: Vec<BufferedLookup>,
-    buffered_joins: Vec<(NodeId, Vec<Vec<NodeId>>, u32)>,
-    lookup_seq: u64,
-    rng: SmallRng,
-    obs: NodeObs,
+pub(crate) struct Ctx {
+    pub(crate) id: NodeId,
+    pub(crate) cfg: Config,
+    pub(crate) now_us: u64,
+    pub(crate) active: bool,
+    pub(crate) rng: SmallRng,
+    pub(crate) obs: NodeObs,
 }
 
-const SEEN_CAP: usize = 16_384;
-const FAILED_CAP: usize = 512;
-const MAX_CONCURRENT_MEASUREMENTS: usize = 64;
-
-impl Node {
-    /// Creates an inactive node; feed it [`Event::Join`] to start.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid.
-    pub fn new(id: NodeId, cfg: Config) -> Self {
-        Self::with_obs(id, cfg, obs::Obs::disabled())
-    }
-
-    /// Creates an inactive node wired to a per-run observability handle:
-    /// its diagnostic counters, RTO/period histograms and sampled hop
-    /// traces land in `obs`'s registry and flight recorder.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid.
-    pub fn with_obs(id: NodeId, cfg: Config, obs: obs::Obs) -> Self {
-        cfg.validate().expect("invalid MSPastry configuration");
-        let half = cfg.leaf_half();
-        let b = cfg.b;
-        let t_rt = cfg.fixed_t_rt_us;
-        let tuner = SelfTuner::new(&cfg, 0);
-        Node {
-            id,
-            rt: RoutingTable::new(id, b),
-            ls: LeafSet::new(id, half),
-            cfg,
-            now_us: 0,
-            active: false,
-            probes: ProbeManager::new(),
-            probe_nonce: 0,
-            failed: FxHashSet::default(),
-            failed_order: VecDeque::new(),
-            suspected: FxHashSet::default(),
-            last_heard: FxHashMap::default(),
-            last_sent: FxHashMap::default(),
-            repair_paced: FxHashMap::default(),
-            rtos: RtoTable::new(),
-            tuner,
-            t_rt_us: t_rt,
-            measurer: DistanceMeasurer::new(),
-            known_dists: FxHashMap::default(),
-            nn: None,
-            join_seed: None,
-            pending: FxHashMap::default(),
-            seen: FxHashSet::default(),
-            seen_order: VecDeque::new(),
-            buffered: Vec::new(),
-            buffered_joins: Vec::new(),
-            lookup_seq: 0,
-            rng: SmallRng::seed_from_u64((id.0 as u64) ^ ((id.0 >> 64) as u64)),
-            obs: NodeObs::new(obs),
-        }
-    }
-
+impl Ctx {
     /// Builds a hop-trace event at the current clock for lookup `id`.
     #[allow(clippy::too_many_arguments)]
-    fn hop_ev(
+    pub(crate) fn hop_ev(
         &self,
         id: LookupId,
         kind: HopKind,
@@ -180,20 +76,73 @@ impl Node {
             note,
         }
     }
+}
+
+/// An MSPastry overlay node.
+#[derive(Debug)]
+pub struct Node {
+    pub(crate) ctx: Ctx,
+    pub(crate) rt: RoutingTable,
+    pub(crate) ls: LeafSet,
+    pub(crate) consistency: Consistency,
+    pub(crate) reliability: Reliability,
+    pub(crate) maintenance: Maintenance,
+    pub(crate) measurement: Measurement,
+}
+
+impl Node {
+    /// Creates an inactive node; feed it [`Event::Join`] to start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(id: NodeId, cfg: Config) -> Self {
+        Self::with_obs(id, cfg, obs::Obs::disabled())
+    }
+
+    /// Creates an inactive node wired to a per-run observability handle:
+    /// its diagnostic counters, RTO/period histograms and sampled hop
+    /// traces land in `obs`'s registry and flight recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_obs(id: NodeId, cfg: Config, obs: obs::Obs) -> Self {
+        cfg.validate().expect("invalid MSPastry configuration");
+        let half = cfg.leaf_half();
+        let b = cfg.b;
+        let maintenance = Maintenance::new(&cfg);
+        Node {
+            rt: RoutingTable::new(id, b),
+            ls: LeafSet::new(id, half),
+            consistency: Consistency::new(),
+            reliability: Reliability::new(),
+            maintenance,
+            measurement: Measurement::new(),
+            ctx: Ctx {
+                id,
+                cfg,
+                now_us: 0,
+                active: false,
+                rng: SmallRng::seed_from_u64((id.0 as u64) ^ ((id.0 >> 64) as u64)),
+                obs: NodeObs::new(obs),
+            },
+        }
+    }
 
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
-        self.id
+        self.ctx.id
     }
 
     /// `true` once the node has completed its join.
     pub fn is_active(&self) -> bool {
-        self.active
+        self.ctx.active
     }
 
     /// The node's configuration.
     pub fn config(&self) -> &Config {
-        &self.cfg
+        &self.ctx.cfg
     }
 
     /// Read access to the routing table (for tests and metrics).
@@ -208,12 +157,12 @@ impl Node {
 
     /// The currently adopted routing-table probing period.
     pub fn t_rt_us(&self) -> u64 {
-        self.t_rt_us
+        self.maintenance.t_rt_us
     }
 
     /// Handles one event at time `now_us`, appending outputs to `fx`.
     pub fn handle(&mut self, now_us: u64, event: Event, fx: &mut Effects) {
-        self.now_us = now_us;
+        self.ctx.now_us = now_us;
         match event {
             Event::Join { seed } => self.on_join(seed, fx),
             Event::Lookup { key, payload } => self.on_local_lookup(key, payload, fx),
@@ -223,190 +172,11 @@ impl Node {
         }
     }
 
-    // ----- join -----------------------------------------------------------
-
-    fn on_join(&mut self, seed: Option<NodeId>, fx: &mut Effects) {
-        self.join_seed = seed;
-        self.tuner = SelfTuner::new(&self.cfg, self.now_us);
-        // Periodic timers, staggered to avoid fleet-wide synchronisation.
-        let stagger = |rng: &mut SmallRng, period: u64| rng.gen_range(1..=period.max(1));
-        let hb = stagger(&mut self.rng, self.cfg.t_ls_us);
-        fx.timer(hb, TimerKind::Heartbeat);
-        let rp = stagger(&mut self.rng, self.t_rt_us);
-        if self.cfg.active_rt_probing {
-            fx.timer(rp, TimerKind::RtProbeTick);
-        }
-        let rm = stagger(&mut self.rng, self.cfg.rt_maintenance_period_us);
-        fx.timer(rm, TimerKind::RtMaintenance);
-        if self.cfg.self_tuning {
-            let st = stagger(&mut self.rng, self.cfg.self_tune_period_us);
-            fx.timer(st, TimerKind::SelfTune);
-        }
-        match seed {
-            None => self.activate(fx),
-            Some(seed) => {
-                fx.timer(self.cfg.join_retry_us, TimerKind::JoinRetry);
-                if self.cfg.nearest_neighbor_join {
-                    self.nn = Some(NnState::new(seed));
-                    self.send(seed, Message::NnLeafSetRequest, fx);
-                    self.start_measurement(seed, MeasurePurpose::NearestNeighbor, fx);
-                } else {
-                    self.send_join_request(seed, fx);
-                }
-            }
-        }
-    }
-
-    fn send_join_request(&mut self, to: NodeId, fx: &mut Effects) {
-        self.send(
-            to,
-            Message::JoinRequest {
-                joiner: self.id,
-                rows: Vec::new(),
-                hops: 0,
-            },
-            fx,
-        );
-    }
-
-    fn activate(&mut self, fx: &mut Effects) {
-        if self.active {
-            return;
-        }
-        self.active = true;
-        self.nn = None;
-        self.failed.clear();
-        self.failed_order.clear();
-        fx.actions.push(Action::BecameActive);
-        // Announce: send each initialised row to the nodes in that row so
-        // they learn about us and gossip previous joiners (§2).
-        for r in self.rt.occupied_rows() {
-            let mut entries = self.rt.row_ids(r);
-            for &to in entries.clone().iter() {
-                entries.push(self.id);
-                self.send(
-                    to,
-                    Message::RtRowAnnounce {
-                        row: r,
-                        entries: entries.clone(),
-                    },
-                    fx,
-                );
-                entries.pop();
-            }
-        }
-        // Symmetric PNS: the joiner initiates distance probing of the nodes
-        // in its routing state; they wait for the measured values (§4.2).
-        let targets: Vec<NodeId> = self
-            .rt
-            .entries()
-            .filter(|e| e.distance_us == DIST_UNKNOWN)
-            .map(|e| e.id)
-            .collect();
-        for t in targets {
-            self.start_measurement(t, MeasurePurpose::ConsiderRt, fx);
-        }
-        // Route anything buffered during the join.
-        let joins = std::mem::take(&mut self.buffered_joins);
-        for (joiner, rows, hops) in joins {
-            self.on_join_request(joiner, rows, hops, fx);
-        }
-        let buffered = std::mem::take(&mut self.buffered);
-        for bl in buffered {
-            self.route_lookup(
-                bl.id,
-                bl.key,
-                bl.payload,
-                bl.hops,
-                bl.issued_at_us,
-                Vec::new(),
-                0,
-                0,
-                bl.wants_acks,
-                false,
-                fx,
-            );
-        }
-    }
-
-    // ----- local lookups ---------------------------------------------------
-
-    fn on_local_lookup(&mut self, key: Key, payload: Payload, fx: &mut Effects) {
-        self.lookup_seq += 1;
-        let id = LookupId {
-            src: self.id,
-            seq: self.lookup_seq,
-        };
-        self.note_seen(id);
-        if self.obs.sampled(id) {
-            let ev = self.hop_ev(id, HopKind::Issue, NO_PEER, 0, 0, 0, "");
-            self.obs.hop(ev);
-        }
-        if !self.active {
-            self.buffer_lookup(
-                BufferedLookup {
-                    id,
-                    key,
-                    payload,
-                    hops: 0,
-                    issued_at_us: self.now_us,
-                    wants_acks: true,
-                },
-                fx,
-            );
-            return;
-        }
-        self.route_lookup(
-            id,
-            key,
-            payload,
-            0,
-            self.now_us,
-            Vec::new(),
-            0,
-            0,
-            true,
-            false,
-            fx,
-        );
-    }
-
-    fn buffer_lookup(&mut self, bl: BufferedLookup, fx: &mut Effects) {
-        if self.buffered.len() >= self.cfg.join_buffer_cap {
-            let reason = DropReason::BufferOverflow;
-            let ev = self.hop_ev(
-                bl.id,
-                HopKind::Drop,
-                NO_PEER,
-                bl.hops,
-                0,
-                0,
-                reason.as_str(),
-            );
-            self.obs.drop_event(reason, ev);
-            fx.actions.push(Action::LookupDropped { id: bl.id, reason });
-            return;
-        }
-        self.buffered.push(bl);
-    }
-
-    /// Announces a voluntary departure to every node in the routing state.
-    /// The host is expected to stop the node afterwards.
-    fn on_leave(&mut self, fx: &mut Effects) {
-        if !self.active {
-            return;
-        }
-        for peer in self.routing_state_ids() {
-            self.send(peer, Message::Leaving, fx);
-        }
-        self.active = false;
-    }
-
-    // ----- receive ---------------------------------------------------------
+    // ----- dispatch ---------------------------------------------------------
 
     fn on_receive(&mut self, from: NodeId, msg: Message, fx: &mut Effects) {
-        self.last_heard.insert(from, self.now_us);
-        self.suspected.remove(&from);
+        self.maintenance.last_heard.insert(from, self.ctx.now_us);
+        self.reliability.suspected.remove(&from);
         match msg {
             Message::JoinRequest { joiner, rows, hops } => {
                 self.on_join_request(joiner, rows, hops, fx)
@@ -432,34 +202,18 @@ impl Node {
                 self.note_hint(from, trt_hint);
                 // Liveness only; last_heard was already updated.
             }
-            Message::RtProbe { nonce } => {
-                let hint = self.hint();
-                self.send(
-                    from,
-                    Message::RtProbeReply {
-                        nonce,
-                        trt_hint: hint,
-                    },
-                    fx,
-                );
-            }
+            Message::RtProbe { nonce } => self.on_rt_probe(from, nonce, fx),
             Message::RtProbeReply { trt_hint, .. } => {
                 self.note_hint(from, trt_hint);
                 self.clear_probe(from);
             }
-            Message::RtRowRequest { row } => {
-                let entries = self.rt.row_ids(row);
-                self.send(from, Message::RtRowReply { row, entries }, fx);
-            }
+            Message::RtRowRequest { row } => self.on_rt_row_request(from, row, fx),
             Message::RtRowReply { entries, .. } | Message::RtRowAnnounce { entries, .. } => {
                 for n in entries {
                     self.consider_rt_candidate(n, fx);
                 }
             }
-            Message::RtSlotRequest { row, col } => {
-                let entry = self.rt.get(row, col).map(|e| e.id);
-                self.send(from, Message::RtSlotReply { row, col, entry }, fx);
-            }
+            Message::RtSlotRequest { row, col } => self.on_rt_slot_request(from, row, col, fx),
             Message::RtSlotReply { entry, .. } => {
                 if let Some(n) = entry {
                     self.consider_rt_candidate(n, fx);
@@ -469,23 +223,13 @@ impl Node {
                 self.send(from, Message::DistanceProbeReply { nonce }, fx);
             }
             Message::DistanceProbeReply { nonce } => self.on_distance_reply(from, nonce, fx),
-            Message::DistanceReport { rtt_us } => {
-                // Symmetric probing: the peer measured us; reuse its value.
-                self.known_dists.insert(from, (rtt_us, self.now_us));
-                self.rt.offer(from, rtt_us);
-            }
+            Message::DistanceReport { rtt_us } => self.on_distance_report(from, rtt_us),
             Message::NnLeafSetRequest => {
                 let nodes = self.ls.members();
                 self.send(from, Message::NnLeafSetReply { nodes }, fx);
             }
             Message::NnLeafSetReply { nodes } => self.on_nn_candidates(None, nodes, fx),
-            Message::NnRowRequest { row } => {
-                let occupied = self.rt.occupied_rows();
-                let deepest = occupied.last().copied().unwrap_or(0);
-                let row = row.min(deepest);
-                let nodes = self.rt.row_ids(row);
-                self.send(from, Message::NnRowReply { row, nodes }, fx);
-            }
+            Message::NnRowRequest { row } => self.on_nn_row_request(from, row, fx),
             Message::NnRowReply { row, nodes } => self.on_nn_candidates(Some(row), nodes, fx),
             Message::Lookup {
                 id,
@@ -495,42 +239,7 @@ impl Node {
                 issued_at_us,
                 is_retransmit: _,
                 wants_acks,
-            } => {
-                if self.cfg.per_hop_acks && wants_acks {
-                    self.send(from, Message::Ack { id }, fx);
-                }
-                if self.seen.contains(&id) {
-                    return; // duplicate copy of a rerouted lookup
-                }
-                self.note_seen(id);
-                if !self.active {
-                    self.buffer_lookup(
-                        BufferedLookup {
-                            id,
-                            key,
-                            payload,
-                            hops,
-                            issued_at_us,
-                            wants_acks,
-                        },
-                        fx,
-                    );
-                    return;
-                }
-                self.route_lookup(
-                    id,
-                    key,
-                    payload,
-                    hops,
-                    issued_at_us,
-                    Vec::new(),
-                    0,
-                    0,
-                    wants_acks,
-                    false,
-                    fx,
-                );
-            }
+            } => self.on_lookup(from, id, key, payload, hops, issued_at_us, wants_acks, fx),
             Message::Leaving => {
                 // The sender told us directly it is gone: skip failure
                 // detection entirely. No announcement — the leaver notified
@@ -538,384 +247,9 @@ impl Node {
                 self.mark_faulty(from, false, fx);
                 self.done_probing(fx);
             }
-            Message::Ack { id } => {
-                if let Some(p) = self.pending.remove(&id) {
-                    let rtt = self.now_us.saturating_sub(p.sent_at_us);
-                    if p.next == from && p.attempt == 0 {
-                        // Karn's rule: only sample unambiguous exchanges.
-                        self.obs.rtt_sample(rtt);
-                        self.rtos.update(from, rtt);
-                    }
-                    if self.obs.sampled(id) {
-                        let ev = self.hop_ev(id, HopKind::Ack, from.0, p.hops, p.attempt, rtt, "");
-                        self.obs.hop(ev);
-                    }
-                }
-            }
+            Message::Ack { id } => self.on_ack(from, id),
         }
     }
-
-    // ----- join handling ---------------------------------------------------
-
-    fn on_join_request(
-        &mut self,
-        joiner: NodeId,
-        mut rows: Vec<Vec<NodeId>>,
-        hops: u32,
-        fx: &mut Effects,
-    ) {
-        if joiner == self.id {
-            return;
-        }
-        // Contribute routing-table rows 0..=spl (Fig. 2: R.add(Ri)).
-        let spl = self.id.shared_prefix_len(joiner, self.cfg.b);
-        let max_row = spl.min(Id::rows(self.cfg.b) - 1);
-        if rows.len() <= max_row {
-            rows.resize(max_row + 1, Vec::new());
-        }
-        for (r, row) in rows.iter_mut().enumerate().take(max_row + 1) {
-            if row.is_empty() {
-                *row = self.rt.row_ids(r);
-            }
-        }
-        // The hop itself belongs in the joiner's table at row `spl`.
-        if !rows[max_row].contains(&self.id) {
-            rows[max_row].push(self.id);
-        }
-        let excluded = self.excluded_set(&[]);
-        match route(&self.rt, &self.ls, joiner, &|n| excluded.contains(&n)) {
-            NextHop::Local => {
-                if self.active {
-                    let mut leaf_set = self.ls.members();
-                    leaf_set.push(self.id);
-                    self.send(joiner, Message::JoinReply { rows, leaf_set }, fx);
-                } else if self.buffered_joins.len() < 64 {
-                    // Buffer and re-route once we are active ourselves
-                    // (Fig. 2 buffers messages received while inactive).
-                    self.buffered_joins.push((joiner, rows, hops));
-                }
-            }
-            NextHop::Forward { next, .. } => {
-                self.send(
-                    next,
-                    Message::JoinRequest {
-                        joiner,
-                        rows,
-                        hops: hops + 1,
-                    },
-                    fx,
-                );
-            }
-        }
-    }
-
-    fn on_join_reply(
-        &mut self,
-        from: NodeId,
-        rows: Vec<Vec<NodeId>>,
-        leaf_set: Vec<NodeId>,
-        fx: &mut Effects,
-    ) {
-        if self.active {
-            return;
-        }
-        // Bootstrap the routing state (Fig. 2: Ri.add(R ∪ L); Li.add(L)).
-        let nn_dists: FxHashMap<NodeId, u64> = self
-            .nn
-            .as_ref()
-            .map(|nn| nn.measured().clone())
-            .unwrap_or_default();
-        for row in &rows {
-            for &n in row {
-                let d = nn_dists
-                    .get(&n)
-                    .copied()
-                    .or_else(|| self.known_dists.get(&n).map(|&(d, _)| d))
-                    .unwrap_or(DIST_UNKNOWN);
-                self.rt.offer(n, d);
-            }
-        }
-        for &n in &leaf_set {
-            let d = self
-                .known_dists
-                .get(&n)
-                .map(|&(d, _)| d)
-                .unwrap_or(DIST_UNKNOWN);
-            self.rt.offer(n, d);
-            self.ls.add(n);
-        }
-        // The replying root spoke to us directly.
-        self.ls.add(from);
-        self.rt.offer(
-            from,
-            self.known_dists
-                .get(&from)
-                .map(|&(d, _)| d)
-                .unwrap_or(DIST_UNKNOWN),
-        );
-        // Probe every leaf-set member before becoming active.
-        for m in self.ls.members() {
-            if self.probe(m, ProbeKind::LeafSet, true, fx) {
-                self.obs.cause(ProbeCause::JoinBootstrap);
-            }
-        }
-        if self.probes.leaf_set_outstanding() == 0 {
-            // Degenerate bootstrap (no members): singleton overlay.
-            self.done_probing(fx);
-        }
-    }
-
-    // ----- leaf-set probing (Fig. 2) ---------------------------------------
-
-    /// Starts a probe of `j` unless one is outstanding or `j` is failed.
-    /// `announce` controls whether exhausting the probe announces the failure
-    /// to the leaf set (confirmation probes of an already-announced failure
-    /// do not re-announce).
-    fn probe(&mut self, j: NodeId, kind: ProbeKind, announce: bool, fx: &mut Effects) -> bool {
-        if j == self.id || self.failed.contains(&j) || self.probes.contains(j) {
-            return false;
-        }
-        if !self.probes.begin(j, kind, announce, self.now_us) {
-            return false;
-        }
-        self.send_probe_message(j, kind, fx);
-        fx.timer(
-            self.cfg.t_o_us,
-            TimerKind::ProbeTimeout {
-                target: j,
-                attempt: 0,
-            },
-        );
-        true
-    }
-
-    fn send_probe_message(&mut self, j: NodeId, kind: ProbeKind, fx: &mut Effects) {
-        match kind {
-            ProbeKind::LeafSet => {
-                let msg = Message::LsProbe {
-                    leaf_set: self.ls.members(),
-                    failed: self.failed.iter().copied().collect(),
-                    trt_hint: self.hint(),
-                };
-                self.send(j, msg, fx);
-            }
-            ProbeKind::Liveness => {
-                self.probe_nonce += 1;
-                self.send(
-                    j,
-                    Message::RtProbe {
-                        nonce: self.probe_nonce,
-                    },
-                    fx,
-                );
-            }
-        }
-    }
-
-    fn on_ls_probe(
-        &mut self,
-        j: NodeId,
-        leaf_set: Vec<NodeId>,
-        failed: Vec<NodeId>,
-        is_probe: bool,
-        fx: &mut Effects,
-    ) {
-        // failed_i := failed_i − {j}
-        if self.failed.remove(&j) {
-            self.failed_order.retain(|&n| n != j);
-        }
-        // L_i.add({j}); R_i.add({j}) — j spoke to us directly.
-        self.ls.add(j);
-        self.rt.offer(
-            j,
-            self.known_dists
-                .get(&j)
-                .map(|&(d, _)| d)
-                .unwrap_or(DIST_UNKNOWN),
-        );
-        // Probe members the sender believes faulty (to confirm / recover from
-        // false positives), then drop them from the leaf set.
-        for &n in &failed {
-            if n != self.id && self.ls.contains(n) {
-                // Confirmation probe: do not re-announce on exhaustion.
-                if self.probe(n, ProbeKind::LeafSet, false, fx) {
-                    self.obs.cause(ProbeCause::Confirm);
-                }
-                self.ls.remove(n);
-            }
-        }
-        // Candidates from the sender's leaf set are probed before inclusion.
-        // Only candidates that would actually belong to the resulting leaf
-        // set are probed; probing every admissible node would flood ~l
-        // probes per vacancy.
-        let failed = &self.failed;
-        for n in self
-            .ls
-            .useful_candidates_filtered(&leaf_set, |n| !failed.contains(&n))
-        {
-            if self.probe(n, ProbeKind::LeafSet, true, fx) {
-                self.obs.cause(ProbeCause::Candidate);
-            }
-        }
-        if is_probe {
-            let msg = Message::LsProbeReply {
-                leaf_set: self.ls.members(),
-                failed: self.failed.iter().copied().collect(),
-                trt_hint: self.hint(),
-            };
-            self.send(j, msg, fx);
-        } else {
-            self.clear_probe(j);
-            self.done_probing(fx);
-        }
-    }
-
-    /// Clears an outstanding probe to `j` after any direct reply and samples
-    /// its RTT.
-    fn clear_probe(&mut self, j: NodeId) {
-        if let Some(st) = self.probes.on_reply(j) {
-            let rtt = self.now_us.saturating_sub(st.sent_at_us);
-            self.obs.rtt_sample(rtt);
-            self.rtos.update(j, rtt);
-        }
-    }
-
-    fn done_probing(&mut self, fx: &mut Effects) {
-        if self.probes.leaf_set_outstanding() > 0 {
-            return;
-        }
-        if self.ls.is_complete() {
-            if !self.active {
-                self.activate(fx);
-            }
-            // Fig. 2: whenever probing drains with a complete leaf set,
-            // `failed` is cleared. This stops stale false-positive entries
-            // from being gossiped forever (a peer's sticky `failed` set
-            // would otherwise keep evicting a live node from our leaf set,
-            // re-probing it in an endless remove/confirm/re-add cycle).
-            self.failed.clear();
-            self.failed_order.clear();
-            return;
-        }
-        // Leaf-set repair: extend the short side by probing its farthest
-        // member; with an empty side, fall back to the closest known node on
-        // that side (generalised repair).
-        let half = self.cfg.leaf_half();
-        let mut repair_targets: Vec<NodeId> = Vec::new();
-        if self.ls.left().len() < half {
-            match self.ls.leftmost() {
-                Some(lm) => repair_targets.push(lm),
-                None => {
-                    if let Some(c) = self.closest_known(|own, n| own.ccw_dist(n)) {
-                        repair_targets.push(c);
-                    }
-                }
-            }
-        }
-        if self.ls.right().len() < half {
-            match self.ls.rightmost() {
-                Some(rm) => repair_targets.push(rm),
-                None => {
-                    if let Some(c) = self.closest_known(|own, n| own.cw_dist(n)) {
-                        repair_targets.push(c);
-                    }
-                }
-            }
-        }
-        if repair_targets.is_empty() {
-            // Nobody left to ask: the overlay (as far as we know) is just us.
-            if !self.active {
-                self.activate(fx);
-            }
-            return;
-        }
-        for t in repair_targets {
-            // Pace repair probes so an unhelpful neighbour is not hammered.
-            let last = self.repair_paced.get(&t).copied().unwrap_or(0);
-            if self.now_us.saturating_sub(last) >= self.cfg.t_o_us || last == 0 {
-                self.repair_paced.insert(t, self.now_us.max(1));
-                if self.probe(t, ProbeKind::LeafSet, true, fx) {
-                    self.obs.cause(ProbeCause::Repair);
-                }
-            }
-        }
-    }
-
-    fn closest_known(&self, dist: impl Fn(NodeId, NodeId) -> u128) -> Option<NodeId> {
-        self.routing_state_ids()
-            .into_iter()
-            .filter(|n| !self.failed.contains(n))
-            .min_by_key(|&n| dist(self.id, n))
-    }
-
-    fn mark_faulty(&mut self, j: NodeId, announce: bool, fx: &mut Effects) {
-        let was_ls_member = self.ls.contains(j);
-        self.ls.remove(j);
-        self.rt.remove(j);
-        self.insert_failed(j);
-        self.tuner.record_failure(self.now_us);
-        self.tuner.forget(j);
-        self.rtos.forget(j);
-        self.known_dists.remove(&j);
-        self.measurer.cancel(j);
-        self.suspected.remove(&j);
-        if was_ls_member && self.active && announce {
-            // Announce the failure to the remaining leaf-set members; their
-            // replies provide replacement candidates (§4.1).
-            for m in self.ls.members() {
-                if self.probe(m, ProbeKind::LeafSet, true, fx) {
-                    self.obs.cause(ProbeCause::Announce);
-                }
-            }
-        }
-        // Lookups still awaiting an ack from `j` will never get one —
-        // re-route them now rather than waiting out their (backed-off)
-        // retransmission timers.
-        let stranded: Vec<LookupId> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.next == j)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in stranded {
-            self.obs.stranded_reroute();
-            let p = self.pending.remove(&id).expect("pending entry present");
-            if self.obs.sampled(id) {
-                let ev = self.hop_ev(id, HopKind::Exclude, j.0, p.hops, p.attempt, 0, "stranded");
-                self.obs.hop(ev);
-            }
-            let mut excluded = p.excluded;
-            if !excluded.contains(&j) {
-                excluded.push(j);
-            }
-            self.route_lookup(
-                id,
-                p.key,
-                p.payload,
-                p.hops,
-                p.issued_at_us,
-                excluded,
-                p.attempt + 1,
-                p.reroutes + 1,
-                true,
-                true,
-                fx,
-            );
-        }
-    }
-
-    fn insert_failed(&mut self, j: NodeId) {
-        if self.failed.insert(j) {
-            self.failed_order.push_back(j);
-            while self.failed_order.len() > FAILED_CAP {
-                if let Some(old) = self.failed_order.pop_front() {
-                    self.failed.remove(&old);
-                }
-            }
-        }
-    }
-
-    // ----- timers ----------------------------------------------------------
 
     fn on_timer(&mut self, kind: TimerKind, fx: &mut Effects) {
         match kind {
@@ -927,662 +261,35 @@ impl Node {
                 self.on_probe_timeout(target, attempt, fx)
             }
             TimerKind::AckTimeout { lookup, attempt } => self.on_ack_timeout(lookup, attempt, fx),
-            TimerKind::DistanceProbeNext { target } => {
-                if let Some(nonce) = self.measurer.next_probe(target, self.now_us) {
-                    self.send(target, Message::DistanceProbe { nonce }, fx);
-                    fx.timer(
-                        self.cfg.t_o_us,
-                        TimerKind::DistanceProbeTimeout { target, nonce },
-                    );
-                }
-            }
+            TimerKind::DistanceProbeNext { target } => self.on_distance_probe_next(target, fx),
             TimerKind::DistanceProbeTimeout { target, nonce } => {
                 self.on_distance_timeout(target, nonce, fx)
             }
-            TimerKind::JoinRetry => {
-                if !self.active {
-                    if let Some(seed) = self.join_seed {
-                        // Prefer whatever the nearest-neighbour phase found.
-                        let to = self.nn.as_ref().map(|n| n.current()).unwrap_or(seed);
-                        self.nn = None;
-                        self.send_join_request(to, fx);
-                        fx.timer(self.cfg.join_retry_us, TimerKind::JoinRetry);
-                    }
-                }
-            }
+            TimerKind::JoinRetry => self.on_join_retry(fx),
         }
     }
 
-    fn on_heartbeat_tick(&mut self, fx: &mut Effects) {
-        if !self.active {
-            fx.timer(self.cfg.t_ls_us, TimerKind::Heartbeat);
-            return;
-        }
-        // Heartbeat to the left neighbour. Suppression *postpones* the
-        // heartbeat to `last_sent + Tls` rather than skipping a whole period:
-        // skipping would stretch the neighbour's inter-reception gap to
-        // almost 2·Tls and trip its Tls+To silence check spuriously.
-        let mut next_tick = self.cfg.t_ls_us;
-        if let Some(left) = self.ls.left_neighbor() {
-            let due = if self.cfg.probe_suppression {
-                self.last_sent
-                    .get(&left)
-                    .map(|&t| t.saturating_add(self.cfg.t_ls_us))
-                    .unwrap_or(self.now_us)
-            } else {
-                self.now_us
-            };
-            if self.now_us >= due {
-                let hint = self.hint();
-                self.send(left, Message::Heartbeat { trt_hint: hint }, fx);
-            } else {
-                next_tick = (due - self.now_us).min(self.cfg.t_ls_us);
-            }
-        }
-        fx.timer(next_tick, TimerKind::Heartbeat);
-        if let Some(right) = self.ls.right_neighbor() {
-            let last = self.last_heard.get(&right).copied().unwrap_or(0);
-            if self.now_us.saturating_sub(last) > self.cfg.t_ls_us + self.cfg.t_o_us {
-                // SUSPECT-FAULTY (Fig. 2): silence from the right neighbour.
-                if self.probe(right, ProbeKind::LeafSet, true, fx) {
-                    self.obs.cause(ProbeCause::Suspect);
-                }
-            }
-        }
-    }
+    // ----- shared helpers ---------------------------------------------------
 
-    fn on_rt_probe_tick(&mut self, fx: &mut Effects) {
-        if !self.cfg.active_rt_probing {
-            return;
-        }
-        fx.timer(self.t_rt_us, TimerKind::RtProbeTick);
-        if !self.active {
-            return;
-        }
-        let targets: Vec<NodeId> = self.rt.entries().map(|e| e.id).collect();
-        for j in targets {
-            let suppressed = self.cfg.probe_suppression
-                && self
-                    .last_heard
-                    .get(&j)
-                    .is_some_and(|&t| self.now_us.saturating_sub(t) < self.t_rt_us);
-            if !suppressed {
-                self.probe(j, ProbeKind::Liveness, true, fx);
-            }
-        }
-    }
-
-    fn on_rt_maintenance(&mut self, fx: &mut Effects) {
-        fx.timer(self.cfg.rt_maintenance_period_us, TimerKind::RtMaintenance);
-        if !self.active {
-            return;
-        }
-        for r in self.rt.occupied_rows() {
-            let ids = self.rt.row_ids(r);
-            let j = ids[self.rng.gen_range(0..ids.len())];
-            self.send(j, Message::RtRowRequest { row: r }, fx);
-        }
-    }
-
-    fn on_self_tune(&mut self, fx: &mut Effects) {
-        fx.timer(self.cfg.self_tune_period_us, TimerKind::SelfTune);
-        if !self.active || !self.cfg.self_tuning {
-            return;
-        }
-        let state = self.routing_state_ids();
-        let m = state.len();
-        self.t_rt_us = self
-            .tuner
-            .recompute(&self.cfg, self.now_us, m, &self.ls, &state)
-            .max(self.cfg.t_rt_floor_us());
-        self.obs.t_rt(self.t_rt_us);
-        // Opportunistic pruning of per-peer maps.
-        let keep: FxHashSet<NodeId> = state.into_iter().collect();
-        let now = self.now_us;
-        let horizon = 4 * self.cfg.t_ls_us;
-        self.last_heard
-            .retain(|n, &mut t| keep.contains(n) || now.saturating_sub(t) < horizon);
-        self.last_sent
-            .retain(|n, &mut t| keep.contains(n) || now.saturating_sub(t) < horizon);
-        self.repair_paced
-            .retain(|_, &mut t| now.saturating_sub(t) < horizon);
-        let dist_horizon = self.cfg.rt_maintenance_period_us;
-        self.known_dists
-            .retain(|n, &mut (_, at)| keep.contains(n) || now.saturating_sub(at) < dist_horizon);
-    }
-
-    fn on_probe_timeout(&mut self, target: NodeId, attempt: u32, fx: &mut Effects) {
-        match self
-            .probes
-            .on_timeout(target, attempt, self.cfg.max_probe_retries, self.now_us)
-        {
-            TimeoutVerdict::Stale => {}
-            TimeoutVerdict::Retry(next_attempt) => {
-                let kind = self
-                    .probes
-                    .get(target)
-                    .map(|s| s.kind)
-                    .unwrap_or(ProbeKind::Liveness);
-                self.send_probe_message(target, kind, fx);
-                fx.timer(
-                    self.cfg.t_o_us,
-                    TimerKind::ProbeTimeout {
-                        target,
-                        attempt: next_attempt,
-                    },
-                );
-            }
-            TimeoutVerdict::Exhausted(st) => {
-                self.mark_faulty(target, st.announce, fx);
-                if st.kind == ProbeKind::LeafSet {
-                    self.done_probing(fx);
-                }
-            }
-        }
-    }
-
-    // ----- lookups and per-hop acks ----------------------------------------
-
-    #[allow(clippy::too_many_arguments)]
-    fn route_lookup(
-        &mut self,
-        id: LookupId,
-        key: Key,
-        payload: Payload,
-        hops: u32,
-        issued_at_us: u64,
-        excluded: Vec<NodeId>,
-        attempt: u32,
-        reroutes: u32,
-        wants_acks: bool,
-        is_retransmit: bool,
-        fx: &mut Effects,
-    ) {
-        let excl = self.excluded_set(&excluded);
-        let (next, empty_slot) = match route(&self.rt, &self.ls, key, &|n| excl.contains(&n)) {
-            NextHop::Local => {
-                if !self.active || !self.ls.covers(key) {
-                    let reason = DropReason::NoRoute;
-                    let ev = self.hop_ev(
-                        id,
-                        HopKind::Drop,
-                        NO_PEER,
-                        hops,
-                        attempt,
-                        0,
-                        reason.as_str(),
-                    );
-                    self.obs.drop_event(reason, ev);
-                    fx.actions.push(Action::LookupDropped { id, reason });
-                    return;
-                }
-                let root = self.ls.closest_to(key, |_| false);
-                if root == self.id {
-                    if self.obs.sampled(id) {
-                        let ev = self.hop_ev(id, HopKind::Deliver, NO_PEER, hops, attempt, 0, "");
-                        self.obs.hop(ev);
-                    }
-                    fx.actions.push(Action::Deliver {
-                        id,
-                        key,
-                        payload,
-                        hops,
-                        issued_at_us,
-                        replica_set: self.replica_set(key),
-                    });
-                    return;
-                }
-                // A strictly closer leaf-set member exists but is excluded,
-                // i.e. merely *suspected* — not confirmed dead (confirmed
-                // failures leave the leaf set). Delivering here would be
-                // speculative and risks an incorrect delivery whenever the
-                // suspect is alive but silent (e.g. a transient outage).
-                // Forward to the suspect root instead: either it answers
-                // (clearing the suspicion) or its failure probe exhausts and
-                // mark_faulty re-routes the lookup against the repaired set.
-                (root, None)
-            }
-            NextHop::Forward { next, empty_slot } => (next, empty_slot),
-        };
-        self.send(
-            next,
-            Message::Lookup {
-                id,
-                key,
-                payload,
-                hops: hops + 1,
-                issued_at_us,
-                is_retransmit,
-                wants_acks,
-            },
-            fx,
-        );
-        if self.cfg.per_hop_acks && wants_acks {
-            let rto = self
-                .rtos
-                .rto_us(next, self.cfg.ack_rto_min_us, self.cfg.ack_rto_initial_us);
-            self.obs.ack_rto(rto);
-            if self.obs.sampled(id) {
-                let ev = self.hop_ev(id, HopKind::Forward, next.0, hops + 1, attempt, rto, "");
-                self.obs.hop(ev);
-            }
-            self.pending.insert(
-                id,
-                PendingLookup {
-                    key,
-                    payload,
-                    hops,
-                    issued_at_us,
-                    excluded,
-                    attempt,
-                    reroutes,
-                    next,
-                    sent_at_us: self.now_us,
-                },
-            );
-            fx.timer(
-                rto,
-                TimerKind::AckTimeout {
-                    lookup: id,
-                    attempt,
-                },
-            );
-        }
-        if let Some((row, col)) = empty_slot {
-            // Passive routing-table repair (§2).
-            self.send(next, Message::RtSlotRequest { row, col }, fx);
-        }
-    }
-
-    fn on_ack_timeout(&mut self, id: LookupId, attempt: u32, fx: &mut Effects) {
-        let Some(p) = self.pending.get(&id) else {
-            return;
-        };
-        if p.attempt != attempt {
-            return; // stale timer from an earlier attempt
-        }
-        let p = self.pending.remove(&id).unwrap();
-        let missed = p.next;
-        // Probe the silent node; it is excluded from routing until it
-        // answers, but only marked faulty if probing exhausts (§3.2).
-        let kind = if self.ls.contains(missed) {
-            ProbeKind::LeafSet
-        } else {
-            ProbeKind::Liveness
-        };
-        if self.probe(missed, kind, true, fx) {
-            self.obs.cause(ProbeCause::AckSuspect);
-        }
-        // Final hop: `missed` is (still) the key's root from our view. There
-        // is no alternative node that could correctly deliver, so retransmit
-        // to the same root with a backed-off timeout; the probe decides its
-        // fate (a live-but-lossy root gets the copy in ~RTO, a dead one is
-        // removed from the leaf set within the probe budget, after which
-        // routing resolves against the repaired state).
-        let is_final_hop = !self.failed.contains(&missed)
-            && self.ls.contains(missed)
-            && self.ls.covers(p.key)
-            && self.ls.closest_to(p.key, |_| false) == missed;
-        if is_final_hop {
-            let attempt = p.attempt + 1;
-            // Retransmission budget: with the paper's default, a few quick
-            // retries to the same root (an incorrect delivery then requires
-            // several independent losses in a row); with the
-            // consistency-over-latency variant, keep retrying until the
-            // root's failure probe resolves (mark_faulty re-routes stranded
-            // lookups the moment the root is declared dead). The short
-            // budget is only safe when excluding the root leaves an
-            // alternative candidate; if the reroute would fall back to a
-            // speculative self-delivery (every closer member suspected, none
-            // confirmed dead), use the extended budget so the backed-off
-            // retransmissions outlast the probe verdict.
-            let reroute_self_delivers = {
-                let mut excl = self.excluded_set(&p.excluded);
-                excl.insert(missed);
-                matches!(
-                    route(&self.rt, &self.ls, p.key, &|n| excl.contains(&n)),
-                    NextHop::Local
-                )
-            };
-            let budget = if self.cfg.exclude_root_on_ack_timeout && !reroute_self_delivers {
-                self.cfg.root_retx_attempts
-            } else {
-                4 + 3 * (self.cfg.max_probe_retries + 1)
-            };
-            if attempt <= budget {
-                self.obs.final_retx();
-                self.obs.retx_attempt(attempt);
-                let rto = self
-                    .rtos
-                    .rto_us(missed, self.cfg.ack_rto_min_us, self.cfg.ack_rto_initial_us)
-                    .saturating_mul(1 << attempt.min(3));
-                let rto = if attempt >= 4 {
-                    rto.max(self.cfg.t_o_us / 3)
-                } else {
-                    rto
-                };
-                if self.obs.sampled(id) {
-                    let ev = self.hop_ev(
-                        id,
-                        HopKind::Retransmit,
-                        missed.0,
-                        p.hops + 1,
-                        attempt,
-                        rto,
-                        "final-hop",
-                    );
-                    self.obs.hop(ev);
-                }
-                self.send(
-                    missed,
-                    Message::Lookup {
-                        id,
-                        key: p.key,
-                        payload: p.payload,
-                        hops: p.hops + 1,
-                        issued_at_us: p.issued_at_us,
-                        is_retransmit: true,
-                        wants_acks: true,
-                    },
-                    fx,
-                );
-                self.pending.insert(
-                    id,
-                    PendingLookup {
-                        attempt,
-                        sent_at_us: self.now_us,
-                        ..p
-                    },
-                );
-                fx.timer(
-                    rto,
-                    TimerKind::AckTimeout {
-                        lookup: id,
-                        attempt,
-                    },
-                );
-                return;
-            }
-            if !self.cfg.exclude_root_on_ack_timeout {
-                let reason = DropReason::TooManyReroutes;
-                let ev = self.hop_ev(
-                    id,
-                    HopKind::Drop,
-                    missed.0,
-                    p.hops,
-                    p.attempt,
-                    0,
-                    reason.as_str(),
-                );
-                self.obs.drop_event(reason, ev);
-                fx.actions.push(Action::LookupDropped { id, reason });
-                return;
-            }
-            // Budget exhausted: fall through to exclude the root and deliver
-            // at the now-closest node.
-        }
-        // Intermediate hop (or the root is already gone): exclude the silent
-        // node and exploit a redundant route. Only genuine reroutes count
-        // against the budget — same-root retransmissions above must not
-        // starve a lookup of its redundant routes.
-        if p.reroutes + 1 > self.cfg.ack_max_reroutes {
-            let reason = DropReason::TooManyReroutes;
-            let ev = self.hop_ev(
-                id,
-                HopKind::Drop,
-                missed.0,
-                p.hops,
-                p.attempt,
-                0,
-                reason.as_str(),
-            );
-            self.obs.drop_event(reason, ev);
-            fx.actions.push(Action::LookupDropped { id, reason });
-            return;
-        }
-        self.obs.reroute();
-        if self.obs.sampled(id) {
-            let ev = self.hop_ev(id, HopKind::Exclude, missed.0, p.hops, p.attempt, 0, "");
-            self.obs.hop(ev);
-        }
-        let mut excluded = p.excluded;
-        self.suspected.insert(missed);
-        if !excluded.contains(&missed) {
-            excluded.push(missed);
-        }
-        self.route_lookup(
-            id,
-            p.key,
-            p.payload,
-            p.hops,
-            p.issued_at_us,
-            excluded,
-            p.attempt + 1,
-            p.reroutes + 1,
-            true,
-            true,
-            fx,
-        );
-    }
-
-    // ----- distance measurement & PNS --------------------------------------
-
-    fn start_measurement(&mut self, target: NodeId, purpose: MeasurePurpose, fx: &mut Effects) {
-        if target == self.id
-            || self.failed.contains(&target)
-            || self.measurer.measuring(target)
-            || self.measurer.len() >= MAX_CONCURRENT_MEASUREMENTS
-        {
-            return;
-        }
-        let (want, timeout, retry) = match purpose {
-            MeasurePurpose::NearestNeighbor => {
-                let want = if self.cfg.single_probe_nearest_neighbor {
-                    1
-                } else {
-                    self.cfg.distance_probe_count
-                };
-                (want, self.cfg.nn_probe_timeout_us, false)
-            }
-            _ => (self.cfg.distance_probe_count, self.cfg.t_o_us, true),
-        };
-        if let Some(nonce) =
-            self.measurer
-                .start_with_retry(target, purpose, want, self.now_us, retry)
-        {
-            self.send(target, Message::DistanceProbe { nonce }, fx);
-            fx.timer(timeout, TimerKind::DistanceProbeTimeout { target, nonce });
-        }
-    }
-
-    fn on_distance_reply(&mut self, from: NodeId, nonce: u64, fx: &mut Effects) {
-        match self.measurer.on_reply(from, nonce, self.now_us) {
-            ReplyOutcome::Ignored => {}
-            ReplyOutcome::NeedMore => {
-                fx.timer(
-                    self.cfg.distance_probe_spacing_us,
-                    TimerKind::DistanceProbeNext { target: from },
-                );
-            }
-            ReplyOutcome::Done(purpose, rtt) => self.finish_measurement(from, purpose, rtt, fx),
-        }
-    }
-
-    fn on_distance_timeout(&mut self, target: NodeId, nonce: u64, fx: &mut Effects) {
-        match self.measurer.on_timeout(target, nonce, self.now_us) {
-            MeasureTimeout::Stale => {}
-            MeasureTimeout::Retry(new_nonce) => {
-                self.send(target, Message::DistanceProbe { nonce: new_nonce }, fx);
-                fx.timer(
-                    self.cfg.t_o_us,
-                    TimerKind::DistanceProbeTimeout {
-                        target,
-                        nonce: new_nonce,
-                    },
-                );
-            }
-            MeasureTimeout::Abandon(purpose, Some(rtt)) => {
-                self.finish_measurement(target, purpose, rtt, fx)
-            }
-            MeasureTimeout::Abandon(purpose, None) => {
-                if purpose == MeasurePurpose::NearestNeighbor {
-                    self.nn_feed_distance(target, u64::MAX, fx);
-                }
-            }
-        }
-    }
-
-    fn finish_measurement(
-        &mut self,
-        target: NodeId,
-        purpose: MeasurePurpose,
-        rtt: u64,
-        fx: &mut Effects,
-    ) {
-        self.known_dists.insert(target, (rtt, self.now_us));
-        self.obs.rtt_sample(rtt);
-        self.rtos.update(target, rtt);
-        match purpose {
-            MeasurePurpose::NearestNeighbor => self.nn_feed_distance(target, rtt, fx),
-            MeasurePurpose::ConsiderRt => {
-                self.obs.pns_measured();
-                let outcome = self.rt.offer(target, rtt);
-                use crate::routing_table::InsertOutcome::*;
-                if matches!(outcome, Replaced(_)) {
-                    self.obs.pns_replaced();
-                }
-                let accepted = matches!(outcome, InsertedEmpty | Replaced(_) | Refreshed);
-                if accepted && self.cfg.symmetric_distance_probes {
-                    self.send(target, Message::DistanceReport { rtt_us: rtt }, fx);
-                }
-            }
-        }
-    }
-
-    fn consider_rt_candidate(&mut self, n: NodeId, fx: &mut Effects) {
-        if n == self.id || self.failed.contains(&n) || self.rt.contains(n) {
-            return;
-        }
-        // A fresh cached measurement answers without new probes (this also
-        // stops rejected candidates from being re-measured at every
-        // maintenance round).
-        if let Some(&(d, at)) = self.known_dists.get(&n) {
-            if self.now_us.saturating_sub(at) < self.cfg.rt_maintenance_period_us {
-                self.rt.offer(n, d);
-                return;
-            }
-        }
-        // Only measure when even a 0-distance candidate could change the
-        // table (i.e. the slot is empty or occupied).
-        if self.rt.would_accept(n, 0) {
-            self.start_measurement(n, MeasurePurpose::ConsiderRt, fx);
-        }
-    }
-
-    // ----- nearest-neighbour discovery --------------------------------------
-
-    fn on_nn_candidates(&mut self, row: Option<usize>, nodes: Vec<NodeId>, fx: &mut Effects) {
-        let Some(nn) = self.nn.as_mut() else {
-            return;
-        };
-        if let Some(r) = row {
-            nn.note_row(r);
-        }
-        let step = nn.on_candidates(self.id, &nodes);
-        self.nn_execute(step, fx);
-    }
-
-    fn nn_feed_distance(&mut self, target: NodeId, dist: u64, fx: &mut Effects) {
-        let Some(nn) = self.nn.as_mut() else {
-            return;
-        };
-        let step = nn.on_distance(target, dist, usize::MAX);
-        self.nn_execute(step, fx);
-    }
-
-    fn nn_execute(&mut self, step: NnStep, fx: &mut Effects) {
-        match step {
-            NnStep::Wait => {}
-            NnStep::Measure(targets) => {
-                let mut unmeasurable = Vec::new();
-                for t in targets {
-                    self.start_measurement(t, MeasurePurpose::NearestNeighbor, fx);
-                    if !self.measurer.measuring(t) {
-                        // Could not start (budget/failed); count as
-                        // unreachable so discovery still terminates.
-                        unmeasurable.push(t);
-                    }
-                }
-                for t in unmeasurable {
-                    self.nn_feed_distance(t, u64::MAX, fx);
-                }
-            }
-            NnStep::AskLeafSet(to) => self.send(to, Message::NnLeafSetRequest, fx),
-            NnStep::AskRow(to, row) => self.send(to, Message::NnRowRequest { row }, fx),
-            NnStep::Finished(seed) => {
-                // Seed the routing table distances with everything measured.
-                if let Some(nn) = self.nn.take() {
-                    for (&n, &d) in nn.measured() {
-                        self.known_dists.insert(n, (d, self.now_us));
-                    }
-                }
-                self.send_join_request(seed, fx);
-            }
-        }
-    }
-
-    // ----- helpers ----------------------------------------------------------
-
-    fn send(&mut self, to: NodeId, msg: Message, fx: &mut Effects) {
-        debug_assert_ne!(to, self.id, "node must not message itself");
-        self.last_sent.insert(to, self.now_us);
+    pub(crate) fn send(&mut self, to: NodeId, msg: Message, fx: &mut Effects) {
+        debug_assert_ne!(to, self.ctx.id, "node must not message itself");
+        self.maintenance.last_sent.insert(to, self.ctx.now_us);
         fx.send(to, msg);
     }
 
     /// The leaf-set members closest to `key` (ring-distance order, up to 8),
     /// for application-level replication.
-    fn replica_set(&self, key: Key) -> Vec<NodeId> {
+    pub(crate) fn replica_set(&self, key: Key) -> Vec<NodeId> {
         let mut members = self.ls.members();
         members.sort_by_key(|m| (m.ring_dist(key), m.0));
         members.truncate(8);
         members
     }
 
-    fn hint(&self) -> Option<u64> {
-        if self.cfg.self_tuning && self.active {
-            Some(self.tuner.local_t_rt_us())
-        } else {
-            None
-        }
-    }
-
-    fn note_hint(&mut self, from: NodeId, hint: Option<u64>) {
-        if let Some(h) = hint {
-            self.tuner.note_hint(from, h);
-        }
-    }
-
-    fn note_seen(&mut self, id: LookupId) {
-        if self.seen.insert(id) {
-            self.seen_order.push_back(id);
-            while self.seen_order.len() > SEEN_CAP {
-                if let Some(old) = self.seen_order.pop_front() {
-                    self.seen.remove(&old);
-                }
-            }
-        }
-    }
-
-    fn excluded_set(&self, extra: &[NodeId]) -> FxHashSet<NodeId> {
-        let mut s: FxHashSet<NodeId> = self.suspected.clone();
-        s.extend(extra.iter().copied());
-        s
-    }
-
     /// All distinct nodes currently in the routing state (routing table and
     /// leaf set).
     pub fn routing_state_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = Vec::with_capacity(self.rt.len() + 2 * self.cfg.leaf_half());
+        let mut ids: Vec<NodeId> = Vec::with_capacity(self.rt.len() + 2 * self.ctx.cfg.leaf_half());
         ids.extend(self.rt.entries().map(|e| e.id));
         // Routing-table ids are distinct, so only leaf-set members need the
         // (constant-time, digit-indexed) duplicate check.
@@ -1592,759 +299,5 @@ impl Node {
             }
         }
         ids
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn cfg() -> Config {
-        Config {
-            nearest_neighbor_join: false,
-            ..Config::default()
-        }
-    }
-
-    /// Delivers every queued send between two nodes until quiescence,
-    /// advancing a fake clock and firing timers is out of scope here; the
-    /// full asynchronous behaviour is exercised by the simulator tests.
-    fn pump(
-        nodes: &mut [Node],
-        mut queue: Vec<(NodeId, NodeId, Message)>,
-        now: u64,
-    ) -> Vec<Action> {
-        let mut others = Vec::new();
-        let mut guard = 0;
-        while let Some((from, to, msg)) = queue.pop() {
-            guard += 1;
-            assert!(guard < 10_000, "message storm");
-            let Some(node) = nodes.iter_mut().find(|n| n.id() == to) else {
-                continue;
-            };
-            let mut fx = Effects::new();
-            node.handle(now, Event::Receive { from, msg }, &mut fx);
-            for a in fx.drain() {
-                match a {
-                    Action::Send { to: t, msg } => queue.push((to, t, msg)),
-                    other => others.push(other),
-                }
-            }
-        }
-        others
-    }
-
-    fn start_join(
-        node: &mut Node,
-        seed: Option<NodeId>,
-        now: u64,
-    ) -> Vec<(NodeId, NodeId, Message)> {
-        let mut fx = Effects::new();
-        node.handle(now, Event::Join { seed }, &mut fx);
-        let id = node.id();
-        fx.drain()
-            .into_iter()
-            .filter_map(|a| match a {
-                Action::Send { to, msg } => Some((id, to, msg)),
-                _ => None,
-            })
-            .collect()
-    }
-
-    #[test]
-    fn bootstrap_node_activates_immediately() {
-        let mut n = Node::new(Id(1), cfg());
-        let mut fx = Effects::new();
-        n.handle(0, Event::Join { seed: None }, &mut fx);
-        assert!(n.is_active());
-        assert!(fx.drain().iter().any(|a| matches!(a, Action::BecameActive)));
-    }
-
-    #[test]
-    fn two_node_overlay_forms_and_routes() {
-        let a_id = Id(10 << 100);
-        let b_id = Id(200 << 100);
-        let mut a = Node::new(a_id, cfg());
-        let mut b = Node::new(b_id, cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let q = start_join(&mut b, Some(a_id), 1);
-        let mut nodes = vec![a, b];
-        let actions = pump(&mut nodes, q, 2);
-        assert!(actions.iter().any(|a| matches!(a, Action::BecameActive)));
-        let (a, b) = (&nodes[0], &nodes[1]);
-        assert!(a.is_active() && b.is_active());
-        assert!(a.leaf_set().contains(b_id));
-        assert!(b.leaf_set().contains(a_id));
-
-        // A lookup for a key near b delivered at b.
-        let key = Id((200 << 100) + 5);
-        let mut fx = Effects::new();
-        nodes[0].handle(10, Event::Lookup { key, payload: 7 }, &mut fx);
-        let sends: Vec<(NodeId, NodeId, Message)> = fx
-            .drain()
-            .into_iter()
-            .filter_map(|act| match act {
-                Action::Send { to, msg } => Some((a_id, to, msg)),
-                _ => None,
-            })
-            .collect();
-        assert!(!sends.is_empty());
-        let actions = pump(&mut nodes, sends, 11);
-        let delivered = actions
-            .iter()
-            .any(|act| matches!(act, Action::Deliver { key: k, payload: 7, .. } if *k == key));
-        assert!(delivered, "lookup must be delivered at b; got {actions:?}");
-    }
-
-    #[test]
-    fn lookup_while_joining_is_buffered_and_flushed() {
-        let a_id = Id(10 << 100);
-        let b_id = Id(200 << 100);
-        let mut a = Node::new(a_id, cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let mut b = Node::new(b_id, cfg());
-        // Issue a lookup before b joins: it must not be lost or delivered.
-        let mut fx = Effects::new();
-        b.handle(
-            0,
-            Event::Lookup {
-                key: Id(5),
-                payload: 1,
-            },
-            &mut fx,
-        );
-        assert!(
-            fx.drain().is_empty(),
-            "inactive node neither routes nor delivers"
-        );
-        let q = start_join(&mut b, Some(a_id), 1);
-        let mut nodes = vec![a, b];
-        let actions = pump(&mut nodes, q, 2);
-        // After activation the buffered lookup is routed; key 5's root is a
-        // (10<<100) or b — either delivery or a forward happened.
-        assert!(
-            actions
-                .iter()
-                .any(|act| matches!(act, Action::Deliver { .. } | Action::BecameActive)),
-            "buffered lookup processed after activation"
-        );
-    }
-
-    #[test]
-    fn probe_timeout_marks_faulty_and_repairs() {
-        let a_id = Id(10 << 100);
-        let b_id = Id(200 << 100);
-        let c_id = Id(300 << 100);
-        let mut a = Node::new(a_id, cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let qb = start_join(&mut Node::new(b_id, cfg()), Some(a_id), 1);
-        // Recreate b properly: we need the same instance used in pump.
-        let mut b = Node::new(b_id, cfg());
-        let qb2 = start_join(&mut b, Some(a_id), 1);
-        drop(qb);
-        let mut nodes = vec![a, b];
-        pump(&mut nodes, qb2, 2);
-        let mut c = Node::new(c_id, cfg());
-        let qc = start_join(&mut c, Some(a_id), 3);
-        nodes.push(c);
-        pump(&mut nodes, qc, 4);
-        assert!(nodes.iter().all(|n| n.is_active()));
-        // Now kill b: a probes it (suspect), probe times out 3 times.
-        let a = &mut nodes[0];
-        let mut fx = Effects::new();
-        // Force suspicion via probe.
-        a.probe(b_id, ProbeKind::LeafSet, true, &mut fx);
-        let _ = fx.drain();
-        let mut now = 10_000_000;
-        for attempt in 0..3 {
-            let mut fx = Effects::new();
-            a.handle(
-                now,
-                Event::Timer(TimerKind::ProbeTimeout {
-                    target: b_id,
-                    attempt,
-                }),
-                &mut fx,
-            );
-            now += 3_000_000;
-            let _ = fx.drain();
-        }
-        assert!(a.failed.contains(&b_id));
-        assert!(!a.leaf_set().contains(b_id));
-        assert!(!a.routing_table().contains(b_id));
-    }
-
-    #[test]
-    fn ack_timeout_reroutes_and_suspects() {
-        let a_id = Id(10 << 100);
-        let b_id = Id(200 << 100);
-        let c_id = Id(210 << 100);
-        let mut a = Node::new(a_id, cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let mut b = Node::new(b_id, cfg());
-        let qb = start_join(&mut b, Some(a_id), 1);
-        let mut nodes = vec![a, b];
-        pump(&mut nodes, qb, 2);
-        let mut c = Node::new(c_id, cfg());
-        let qc = start_join(&mut c, Some(a_id), 3);
-        nodes.push(c);
-        pump(&mut nodes, qc, 4);
-        // a sends a lookup rooted at b; b never acks (we just don't deliver
-        // the message); the ack timeout must reroute and suspect b.
-        let key = Id((200 << 100) + 1);
-        let mut fx = Effects::new();
-        nodes[0].handle(100, Event::Lookup { key, payload: 9 }, &mut fx);
-        let mut lookup_id = None;
-        for act in fx.drain() {
-            if let Action::Send {
-                to,
-                msg: Message::Lookup { id, .. },
-            } = act
-            {
-                assert_eq!(to, b_id);
-                lookup_id = Some(id);
-            }
-        }
-        let id = lookup_id.expect("lookup forwarded to b");
-        let retx_budget = nodes[0].cfg.root_retx_attempts;
-        // b is the key's root, so the first timeouts retransmit to b itself.
-        let mut now = 1_000_000;
-        for attempt in 0..retx_budget {
-            let mut fx = Effects::new();
-            nodes[0].handle(
-                now,
-                Event::Timer(TimerKind::AckTimeout {
-                    lookup: id,
-                    attempt,
-                }),
-                &mut fx,
-            );
-            let retx = fx.drain().iter().any(|a| {
-                matches!(
-                    a,
-                    Action::Send {
-                        to,
-                        msg: Message::Lookup {
-                            is_retransmit: true,
-                            ..
-                        },
-                    } if *to == b_id
-                )
-            });
-            assert!(retx, "attempt {attempt} must retransmit to the root");
-            now += 1_000_000;
-        }
-        // Budget exhausted: the root is excluded and the lookup resolves at
-        // the now-closest node.
-        let mut fx = Effects::new();
-        nodes[0].handle(
-            now,
-            Event::Timer(TimerKind::AckTimeout {
-                lookup: id,
-                attempt: retx_budget,
-            }),
-            &mut fx,
-        );
-        let actions = fx.drain();
-        assert!(nodes[0].suspected.contains(&b_id));
-        let resolved = actions.iter().any(|a| {
-            matches!(
-                a,
-                Action::Send {
-                    msg: Message::Lookup {
-                        is_retransmit: true,
-                        ..
-                    },
-                    ..
-                }
-            ) || matches!(a, Action::Deliver { .. })
-        });
-        assert!(resolved, "lookup resolved after budget: {actions:?}");
-    }
-
-    #[test]
-    fn heartbeat_goes_to_left_neighbor_only() {
-        let a_id = Id(10 << 100);
-        let b_id = Id(200 << 100);
-        let c_id = Id(300 << 100);
-        let mut a = Node::new(a_id, cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let mut b = Node::new(b_id, cfg());
-        let qb = start_join(&mut b, Some(a_id), 1);
-        let mut nodes = vec![a, b];
-        pump(&mut nodes, qb, 2);
-        let mut c = Node::new(c_id, cfg());
-        let qc = start_join(&mut c, Some(a_id), 3);
-        nodes.push(c);
-        pump(&mut nodes, qc, 4);
-        // Fire b's heartbeat far in the future (no suppression from recent
-        // traffic).
-        let b = &mut nodes[1];
-        let left = b.leaf_set().left_neighbor().unwrap();
-        let mut fx = Effects::new();
-        b.handle(10_000_000_000, Event::Timer(TimerKind::Heartbeat), &mut fx);
-        let hb_targets: Vec<NodeId> = fx
-            .drain()
-            .into_iter()
-            .filter_map(|a| match a {
-                Action::Send {
-                    to,
-                    msg: Message::Heartbeat { .. },
-                } => Some(to),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(hb_targets, vec![left], "single heartbeat to left neighbour");
-    }
-
-    #[test]
-    fn suppression_skips_heartbeat_after_recent_send() {
-        let a_id = Id(10 << 100);
-        let b_id = Id(200 << 100);
-        let mut a = Node::new(a_id, cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let mut b = Node::new(b_id, cfg());
-        let qb = start_join(&mut b, Some(a_id), 1);
-        let mut nodes = vec![a, b];
-        pump(&mut nodes, qb, 2);
-        let b = &mut nodes[1];
-        let left = b.leaf_set().left_neighbor().unwrap();
-        // Pretend b just sent something to its left neighbour.
-        b.last_sent.insert(left, 999_000_000);
-        let mut fx = Effects::new();
-        b.handle(1_000_000_000, Event::Timer(TimerKind::Heartbeat), &mut fx);
-        let heartbeats = fx
-            .drain()
-            .iter()
-            .filter(|a| {
-                matches!(
-                    a,
-                    Action::Send {
-                        msg: Message::Heartbeat { .. },
-                        ..
-                    }
-                )
-            })
-            .count();
-        assert_eq!(heartbeats, 0, "recent traffic suppresses the heartbeat");
-    }
-
-    #[test]
-    fn rt_probe_tick_probes_unheard_entries() {
-        let a_id = Id(10 << 100);
-        let b_id = Id(200 << 100);
-        let mut a = Node::new(a_id, cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let mut b = Node::new(b_id, cfg());
-        let qb = start_join(&mut b, Some(a_id), 1);
-        let mut nodes = vec![a, b];
-        pump(&mut nodes, qb, 2);
-        let a = &mut nodes[0];
-        assert!(a.routing_table().contains(b_id));
-        let mut fx = Effects::new();
-        a.handle(
-            10_000_000_000,
-            Event::Timer(TimerKind::RtProbeTick),
-            &mut fx,
-        );
-        let probed = fx.drain().iter().any(|act| {
-            matches!(
-                act,
-                Action::Send {
-                    to,
-                    msg: Message::RtProbe { .. }
-                } if *to == b_id
-            )
-        });
-        assert!(probed, "stale routing-table entry gets a liveness probe");
-    }
-
-    #[test]
-    fn dead_nodes_are_not_propagated_through_gossip() {
-        // A node learns about a candidate via RtRowAnnounce; it must measure
-        // (direct contact) before inserting, so a dead candidate never enters
-        // the table.
-        let a_id = Id(10 << 100);
-        let dead = Id(400 << 100);
-        let mut a = Node::new(a_id, cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let mut fx = Effects::new();
-        a.handle(
-            1,
-            Event::Receive {
-                from: Id(1),
-                msg: Message::RtRowAnnounce {
-                    row: 0,
-                    entries: vec![dead],
-                },
-            },
-            &mut fx,
-        );
-        assert!(
-            !a.routing_table().contains(dead),
-            "gossiped candidate only enters after a successful distance probe"
-        );
-        // It must have started a distance measurement instead.
-        let probing = fx.drain().iter().any(|act| {
-            matches!(
-                act,
-                Action::Send {
-                    to,
-                    msg: Message::DistanceProbe { .. }
-                } if *to == dead
-            )
-        });
-        assert!(probing);
-    }
-
-    #[test]
-    fn self_tune_updates_period() {
-        let mut a = Node::new(Id(1), cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let before = a.t_rt_us();
-        let mut fx = Effects::new();
-        a.handle(60_000_000, Event::Timer(TimerKind::SelfTune), &mut fx);
-        // Singleton overlay: no failures, N=1 → probing effectively off.
-        assert!(a.t_rt_us() >= before);
-    }
-
-    /// Builds a small active overlay of three nodes for handler tests.
-    fn trio() -> (Vec<Node>, [NodeId; 3]) {
-        let ids = [Id(10 << 100), Id(200 << 100), Id(300 << 100)];
-        let mut a = Node::new(ids[0], cfg());
-        let mut fx = Effects::new();
-        a.handle(0, Event::Join { seed: None }, &mut fx);
-        let mut b = Node::new(ids[1], cfg());
-        let qb = start_join(&mut b, Some(ids[0]), 1);
-        let mut nodes = vec![a, b];
-        pump(&mut nodes, qb, 2);
-        let mut c = Node::new(ids[2], cfg());
-        let qc = start_join(&mut c, Some(ids[0]), 3);
-        nodes.push(c);
-        pump(&mut nodes, qc, 4);
-        assert!(nodes.iter().all(|n| n.is_active()));
-        (nodes, ids)
-    }
-
-    #[test]
-    fn rt_row_request_returns_the_row() {
-        let (mut nodes, ids) = trio();
-        let mut fx = Effects::new();
-        nodes[0].handle(
-            100,
-            Event::Receive {
-                from: ids[1],
-                msg: Message::RtRowRequest { row: 0 },
-            },
-            &mut fx,
-        );
-        let reply = fx.drain().into_iter().find_map(|a| match a {
-            Action::Send {
-                to,
-                msg: Message::RtRowReply { row, entries },
-            } if to == ids[1] => Some((row, entries)),
-            _ => None,
-        });
-        let (row, entries) = reply.expect("row reply sent");
-        assert_eq!(row, 0);
-        assert_eq!(entries, nodes[0].routing_table().row_ids(0));
-    }
-
-    #[test]
-    fn join_request_contributes_rows_and_self() {
-        let (mut nodes, ids) = trio();
-        // A brand-new joiner's request through node 0.
-        let joiner = Id(250 << 100);
-        let mut fx = Effects::new();
-        nodes[0].handle(
-            100,
-            Event::Receive {
-                from: joiner,
-                msg: Message::JoinRequest {
-                    joiner,
-                    rows: Vec::new(),
-                    hops: 0,
-                },
-            },
-            &mut fx,
-        );
-        let mut saw = false;
-        for a in fx.drain() {
-            match a {
-                Action::Send {
-                    msg: Message::JoinReply { rows, leaf_set },
-                    to,
-                } => {
-                    assert_eq!(to, joiner);
-                    assert!(leaf_set.contains(&ids[0]), "root includes itself");
-                    assert!(rows.iter().flatten().any(|&n| n == ids[0]));
-                    saw = true;
-                }
-                Action::Send {
-                    msg: Message::JoinRequest { rows, .. },
-                    ..
-                } => {
-                    assert!(rows.iter().flatten().any(|&n| n == ids[0]));
-                    saw = true;
-                }
-                _ => {}
-            }
-        }
-        assert!(saw, "join request handled");
-    }
-
-    #[test]
-    fn distance_report_inserts_into_routing_table() {
-        let (mut nodes, _ids) = trio();
-        let stranger = Id(0xdead << 100);
-        let mut fx = Effects::new();
-        nodes[0].handle(
-            100,
-            Event::Receive {
-                from: stranger,
-                msg: Message::DistanceReport { rtt_us: 1234 },
-            },
-            &mut fx,
-        );
-        let e = nodes[0]
-            .routing_table()
-            .entry_of(stranger)
-            .expect("symmetric report inserts the sender");
-        assert_eq!(e.distance_us, 1234);
-    }
-
-    #[test]
-    fn duplicate_lookups_are_acked_but_not_reprocessed() {
-        let (mut nodes, ids) = trio();
-        let id = LookupId {
-            src: ids[1],
-            seq: 9,
-        };
-        let lookup = Message::Lookup {
-            id,
-            key: Id(5),
-            payload: 0,
-            hops: 1,
-            issued_at_us: 50,
-            is_retransmit: false,
-            wants_acks: true,
-        };
-        let mut fx = Effects::new();
-        nodes[0].handle(
-            100,
-            Event::Receive {
-                from: ids[1],
-                msg: lookup.clone(),
-            },
-            &mut fx,
-        );
-        let first: Vec<Action> = fx.drain();
-        assert!(first.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                msg: Message::Ack { .. },
-                ..
-            }
-        )));
-        let mut fx = Effects::new();
-        nodes[0].handle(
-            200,
-            Event::Receive {
-                from: ids[2],
-                msg: lookup,
-            },
-            &mut fx,
-        );
-        let second = fx.drain();
-        assert!(
-            second.iter().all(|a| matches!(
-                a,
-                Action::Send {
-                    msg: Message::Ack { .. },
-                    ..
-                }
-            )),
-            "duplicate only acked, got {second:?}"
-        );
-    }
-
-    #[test]
-    fn join_buffer_overflow_reports_drops() {
-        let mut cfg2 = cfg();
-        cfg2.join_buffer_cap = 2;
-        let mut n = Node::new(Id(5), cfg2);
-        // Not joined yet: local lookups buffer; the third overflows.
-        let mut drops = 0;
-        for i in 0..3 {
-            let mut fx = Effects::new();
-            n.handle(
-                i,
-                Event::Lookup {
-                    key: Id(i as u128),
-                    payload: i,
-                },
-                &mut fx,
-            );
-            drops += fx
-                .drain()
-                .iter()
-                .filter(|a| {
-                    matches!(
-                        a,
-                        Action::LookupDropped {
-                            reason: DropReason::BufferOverflow,
-                            ..
-                        }
-                    )
-                })
-                .count();
-        }
-        assert_eq!(drops, 1);
-    }
-
-    #[test]
-    fn heartbeat_silence_triggers_suspect_probe() {
-        let (mut nodes, _) = trio();
-        let b = &mut nodes[1];
-        let right = b.leaf_set().right_neighbor().unwrap();
-        // Pretend we have not heard from the right neighbour for a long time.
-        b.last_heard.insert(right, 0);
-        let mut fx = Effects::new();
-        b.handle(100_000_000, Event::Timer(TimerKind::Heartbeat), &mut fx);
-        let probed = fx.drain().iter().any(|a| {
-            matches!(
-                a,
-                Action::Send {
-                    to,
-                    msg: Message::LsProbe { .. }
-                } if *to == right
-            )
-        });
-        assert!(probed, "silent right neighbour must be probed");
-    }
-
-    #[test]
-    fn leave_announces_and_receivers_remove_instantly() {
-        let (mut nodes, ids) = trio();
-        // Node 1 leaves gracefully.
-        let mut fx = Effects::new();
-        nodes[1].handle(100, Event::Leave, &mut fx);
-        let targets: Vec<NodeId> = fx
-            .drain()
-            .into_iter()
-            .filter_map(|a| match a {
-                Action::Send {
-                    to,
-                    msg: Message::Leaving,
-                } => Some(to),
-                _ => None,
-            })
-            .collect();
-        assert!(targets.contains(&ids[0]) && targets.contains(&ids[2]));
-        assert!(!nodes[1].is_active());
-        // Node 0 receives the announcement: instant removal, no probes to
-        // the leaver.
-        let mut fx = Effects::new();
-        nodes[0].handle(
-            200,
-            Event::Receive {
-                from: ids[1],
-                msg: Message::Leaving,
-            },
-            &mut fx,
-        );
-        assert!(!nodes[0].leaf_set().contains(ids[1]));
-        assert!(!nodes[0].routing_table().contains(ids[1]));
-        let probes_to_leaver = fx
-            .drain()
-            .iter()
-            .filter(|a| matches!(a, Action::Send { to, .. } if *to == ids[1]))
-            .count();
-        assert_eq!(probes_to_leaver, 0, "no probes to an announced leaver");
-    }
-
-    #[test]
-    fn inactive_node_replies_to_nn_requests() {
-        let mut n = Node::new(Id(5), cfg());
-        // Never joined; a joiner may still ask for its (empty) leaf set.
-        let mut fx = Effects::new();
-        n.handle(
-            10,
-            Event::Receive {
-                from: Id(9),
-                msg: Message::NnLeafSetRequest,
-            },
-            &mut fx,
-        );
-        assert!(fx.drain().iter().any(|a| matches!(
-            a,
-            Action::Send {
-                msg: Message::NnLeafSetReply { .. },
-                ..
-            }
-        )));
-    }
-
-    #[test]
-    fn rt_probe_suppressed_when_recently_heard() {
-        let (mut nodes, ids) = trio();
-        let a = &mut nodes[0];
-        assert!(a.routing_table().contains(ids[1]));
-        let now = 10_000_000_000;
-        a.last_heard.insert(ids[1], now - 1);
-        let mut fx = Effects::new();
-        a.handle(now, Event::Timer(TimerKind::RtProbeTick), &mut fx);
-        let probed = fx.drain().iter().any(|act| {
-            matches!(
-                act,
-                Action::Send {
-                    to,
-                    msg: Message::RtProbe { .. }
-                } if *to == ids[1]
-            )
-        });
-        assert!(!probed, "fresh traffic suppresses the liveness probe");
-    }
-
-    #[test]
-    fn probe_reply_samples_rtt_for_rto() {
-        let (mut nodes, ids) = trio();
-        let a = &mut nodes[0];
-        let mut fx = Effects::new();
-        a.handle(1_000_000, Event::Timer(TimerKind::RtProbeTick), &mut fx);
-        let nonce = fx.drain().into_iter().find_map(|act| match act {
-            Action::Send {
-                to,
-                msg: Message::RtProbe { nonce },
-            } if to == ids[1] => Some(nonce),
-            _ => None,
-        });
-        if let Some(nonce) = nonce {
-            let mut fx = Effects::new();
-            a.handle(
-                1_040_000,
-                Event::Receive {
-                    from: ids[1],
-                    msg: Message::RtProbeReply {
-                        nonce,
-                        trt_hint: None,
-                    },
-                },
-                &mut fx,
-            );
-            assert!(
-                a.rtos.rto_us(ids[1], 0, 999_999_999) < 999_999_999,
-                "RTO estimator has a sample now"
-            );
-        }
     }
 }

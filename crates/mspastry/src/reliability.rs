@@ -1,0 +1,618 @@
+//! Reliable routing (§3.2): per-hop acks, retransmission with TCP-style
+//! estimated timeouts, rerouting around silent nodes, and the temporary
+//! exclusion of suspects from route selection.
+//!
+//! Every forwarded lookup arms a one-shot `AckTimeout`; a missed ack probes
+//! the silent next hop, retransmits to the key's root with backoff, or
+//! excludes the suspect and exploits a redundant route. Nodes are only
+//! *suspected* here — confirming a failure is the consistency layer's job.
+
+use crate::diag::ProbeCause;
+use crate::events::{Action, DropReason, Effects, TimerKind};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::id::{Key, NodeId};
+use crate::messages::{LookupId, Message, Payload};
+use crate::node::Node;
+use crate::probes::ProbeKind;
+use crate::routing::{route, NextHop};
+use crate::rto::RtoTable;
+use obs::{HopKind, NO_PEER};
+use std::collections::VecDeque;
+
+pub(crate) const SEEN_CAP: usize = 16_384;
+
+/// A lookup buffered or in flight at this node, awaiting a per-hop ack.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingLookup {
+    pub(crate) key: Key,
+    pub(crate) payload: Payload,
+    pub(crate) hops: u32,
+    pub(crate) issued_at_us: u64,
+    pub(crate) excluded: Vec<NodeId>,
+    pub(crate) attempt: u32,
+    /// How many times the lookup was re-routed around a suspect (excluding
+    /// same-root retransmissions, which have their own budget).
+    pub(crate) reroutes: u32,
+    pub(crate) next: NodeId,
+    pub(crate) sent_at_us: u64,
+}
+
+/// A lookup buffered while the node is still joining.
+#[derive(Debug, Clone)]
+pub(crate) struct BufferedLookup {
+    pub(crate) id: LookupId,
+    pub(crate) key: Key,
+    pub(crate) payload: Payload,
+    pub(crate) hops: u32,
+    pub(crate) issued_at_us: u64,
+    pub(crate) wants_acks: bool,
+}
+
+/// Lookup-forwarding state owned by the reliability layer.
+#[derive(Debug)]
+pub(crate) struct Reliability {
+    pub(crate) suspected: FxHashSet<NodeId>,
+    pub(crate) pending: FxHashMap<LookupId, PendingLookup>,
+    pub(crate) seen: FxHashSet<LookupId>,
+    pub(crate) seen_order: VecDeque<LookupId>,
+    pub(crate) buffered: Vec<BufferedLookup>,
+    pub(crate) lookup_seq: u64,
+    pub(crate) rtos: RtoTable,
+}
+
+impl Reliability {
+    pub(crate) fn new() -> Self {
+        Reliability {
+            suspected: FxHashSet::default(),
+            pending: FxHashMap::default(),
+            seen: FxHashSet::default(),
+            seen_order: VecDeque::new(),
+            buffered: Vec::new(),
+            lookup_seq: 0,
+            rtos: RtoTable::new(),
+        }
+    }
+
+    /// Records a lookup id in the capped duplicate-suppression window.
+    pub(crate) fn note_seen(&mut self, id: LookupId) {
+        if self.seen.insert(id) {
+            self.seen_order.push_back(id);
+            while self.seen_order.len() > SEEN_CAP {
+                if let Some(old) = self.seen_order.pop_front() {
+                    self.seen.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+impl Node {
+    // ----- local lookups ----------------------------------------------------
+
+    pub(crate) fn on_local_lookup(&mut self, key: Key, payload: Payload, fx: &mut Effects) {
+        self.reliability.lookup_seq += 1;
+        let id = LookupId {
+            src: self.ctx.id,
+            seq: self.reliability.lookup_seq,
+        };
+        self.reliability.note_seen(id);
+        if self.ctx.obs.sampled(id) {
+            let ev = self.ctx.hop_ev(id, HopKind::Issue, NO_PEER, 0, 0, 0, "");
+            self.ctx.obs.hop(ev);
+        }
+        if !self.ctx.active {
+            self.buffer_lookup(
+                BufferedLookup {
+                    id,
+                    key,
+                    payload,
+                    hops: 0,
+                    issued_at_us: self.ctx.now_us,
+                    wants_acks: true,
+                },
+                fx,
+            );
+            return;
+        }
+        self.route_lookup(
+            id,
+            key,
+            payload,
+            0,
+            self.ctx.now_us,
+            Vec::new(),
+            0,
+            0,
+            true,
+            false,
+            fx,
+        );
+    }
+
+    pub(crate) fn buffer_lookup(&mut self, bl: BufferedLookup, fx: &mut Effects) {
+        if self.reliability.buffered.len() >= self.ctx.cfg.join_buffer_cap {
+            let reason = DropReason::BufferOverflow;
+            let ev = self.ctx.hop_ev(
+                bl.id,
+                HopKind::Drop,
+                NO_PEER,
+                bl.hops,
+                0,
+                0,
+                reason.as_str(),
+            );
+            self.ctx.obs.drop_event(reason, ev);
+            fx.actions.push(Action::LookupDropped { id: bl.id, reason });
+            return;
+        }
+        self.reliability.buffered.push(bl);
+    }
+
+    /// Routes every lookup buffered while the node was joining (called once,
+    /// on activation).
+    pub(crate) fn flush_buffered(&mut self, fx: &mut Effects) {
+        let buffered = std::mem::take(&mut self.reliability.buffered);
+        for bl in buffered {
+            self.route_lookup(
+                bl.id,
+                bl.key,
+                bl.payload,
+                bl.hops,
+                bl.issued_at_us,
+                Vec::new(),
+                0,
+                0,
+                bl.wants_acks,
+                false,
+                fx,
+            );
+        }
+    }
+
+    // ----- forwarded lookups and acks ---------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_lookup(
+        &mut self,
+        from: NodeId,
+        id: LookupId,
+        key: Key,
+        payload: Payload,
+        hops: u32,
+        issued_at_us: u64,
+        wants_acks: bool,
+        fx: &mut Effects,
+    ) {
+        if self.ctx.cfg.per_hop_acks && wants_acks {
+            self.send(from, Message::Ack { id }, fx);
+        }
+        if self.reliability.seen.contains(&id) {
+            return; // duplicate copy of a rerouted lookup
+        }
+        self.reliability.note_seen(id);
+        if !self.ctx.active {
+            self.buffer_lookup(
+                BufferedLookup {
+                    id,
+                    key,
+                    payload,
+                    hops,
+                    issued_at_us,
+                    wants_acks,
+                },
+                fx,
+            );
+            return;
+        }
+        self.route_lookup(
+            id,
+            key,
+            payload,
+            hops,
+            issued_at_us,
+            Vec::new(),
+            0,
+            0,
+            wants_acks,
+            false,
+            fx,
+        );
+    }
+
+    pub(crate) fn on_ack(&mut self, from: NodeId, id: LookupId) {
+        if let Some(p) = self.reliability.pending.remove(&id) {
+            let rtt = self.ctx.now_us.saturating_sub(p.sent_at_us);
+            if p.next == from && p.attempt == 0 {
+                // Karn's rule: only sample unambiguous exchanges.
+                self.ctx.obs.rtt_sample(rtt);
+                self.reliability.rtos.update(from, rtt);
+            }
+            if self.ctx.obs.sampled(id) {
+                let ev = self
+                    .ctx
+                    .hop_ev(id, HopKind::Ack, from.0, p.hops, p.attempt, rtt, "");
+                self.ctx.obs.hop(ev);
+            }
+        } else {
+            // Stray or duplicate ack: the pending entry was already resolved
+            // (acked, rerouted, or stranded-rerouted). Count it; never crash.
+            self.ctx.obs.stray_ack();
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn route_lookup(
+        &mut self,
+        id: LookupId,
+        key: Key,
+        payload: Payload,
+        hops: u32,
+        issued_at_us: u64,
+        excluded: Vec<NodeId>,
+        attempt: u32,
+        reroutes: u32,
+        wants_acks: bool,
+        is_retransmit: bool,
+        fx: &mut Effects,
+    ) {
+        let excl = self.excluded_set(&excluded);
+        let (next, empty_slot) = match route(&self.rt, &self.ls, key, &|n| excl.contains(&n)) {
+            NextHop::Local => {
+                if !self.ctx.active || !self.ls.covers(key) {
+                    let reason = DropReason::NoRoute;
+                    let ev = self.ctx.hop_ev(
+                        id,
+                        HopKind::Drop,
+                        NO_PEER,
+                        hops,
+                        attempt,
+                        0,
+                        reason.as_str(),
+                    );
+                    self.ctx.obs.drop_event(reason, ev);
+                    fx.actions.push(Action::LookupDropped { id, reason });
+                    return;
+                }
+                let root = self.ls.closest_to(key, |_| false);
+                if root == self.ctx.id {
+                    if self.ctx.obs.sampled(id) {
+                        let ev =
+                            self.ctx
+                                .hop_ev(id, HopKind::Deliver, NO_PEER, hops, attempt, 0, "");
+                        self.ctx.obs.hop(ev);
+                    }
+                    fx.actions.push(Action::Deliver {
+                        id,
+                        key,
+                        payload,
+                        hops,
+                        issued_at_us,
+                        replica_set: self.replica_set(key),
+                    });
+                    return;
+                }
+                // A strictly closer leaf-set member exists but is excluded,
+                // i.e. merely *suspected* — not confirmed dead (confirmed
+                // failures leave the leaf set). Delivering here would be
+                // speculative and risks an incorrect delivery whenever the
+                // suspect is alive but silent (e.g. a transient outage).
+                // Forward to the suspect root instead: either it answers
+                // (clearing the suspicion) or its failure probe exhausts and
+                // mark_faulty re-routes the lookup against the repaired set.
+                (root, None)
+            }
+            NextHop::Forward { next, empty_slot } => (next, empty_slot),
+        };
+        self.send(
+            next,
+            Message::Lookup {
+                id,
+                key,
+                payload,
+                hops: hops + 1,
+                issued_at_us,
+                is_retransmit,
+                wants_acks,
+            },
+            fx,
+        );
+        if self.ctx.cfg.per_hop_acks && wants_acks {
+            let rto = self.reliability.rtos.rto_us(
+                next,
+                self.ctx.cfg.ack_rto_min_us,
+                self.ctx.cfg.ack_rto_initial_us,
+            );
+            self.ctx.obs.ack_rto(rto);
+            if self.ctx.obs.sampled(id) {
+                let ev = self
+                    .ctx
+                    .hop_ev(id, HopKind::Forward, next.0, hops + 1, attempt, rto, "");
+                self.ctx.obs.hop(ev);
+            }
+            self.reliability.pending.insert(
+                id,
+                PendingLookup {
+                    key,
+                    payload,
+                    hops,
+                    issued_at_us,
+                    excluded,
+                    attempt,
+                    reroutes,
+                    next,
+                    sent_at_us: self.ctx.now_us,
+                },
+            );
+            fx.timer(
+                rto,
+                TimerKind::AckTimeout {
+                    lookup: id,
+                    attempt,
+                },
+            );
+        }
+        if let Some((row, col)) = empty_slot {
+            // Passive routing-table repair (§2).
+            self.send(next, Message::RtSlotRequest { row, col }, fx);
+        }
+    }
+
+    pub(crate) fn on_ack_timeout(&mut self, id: LookupId, attempt: u32, fx: &mut Effects) {
+        let Some(p) = self.reliability.pending.get(&id) else {
+            return;
+        };
+        if p.attempt != attempt {
+            return; // stale timer from an earlier attempt
+        }
+        let Some(p) = self.reliability.pending.remove(&id) else {
+            return;
+        };
+        let missed = p.next;
+        // Probe the silent node; it is excluded from routing until it
+        // answers, but only marked faulty if probing exhausts (§3.2).
+        let kind = if self.ls.contains(missed) {
+            ProbeKind::LeafSet
+        } else {
+            ProbeKind::Liveness
+        };
+        if self.probe(missed, kind, true, fx) {
+            self.ctx.obs.cause(ProbeCause::AckSuspect);
+        }
+        // Final hop: `missed` is (still) the key's root from our view. There
+        // is no alternative node that could correctly deliver, so retransmit
+        // to the same root with a backed-off timeout; the probe decides its
+        // fate (a live-but-lossy root gets the copy in ~RTO, a dead one is
+        // removed from the leaf set within the probe budget, after which
+        // routing resolves against the repaired state).
+        let is_final_hop = !self.consistency.failed.contains(&missed)
+            && self.ls.contains(missed)
+            && self.ls.covers(p.key)
+            && self.ls.closest_to(p.key, |_| false) == missed;
+        if is_final_hop {
+            let attempt = p.attempt + 1;
+            // Retransmission budget: with the paper's default, a few quick
+            // retries to the same root (an incorrect delivery then requires
+            // several independent losses in a row); with the
+            // consistency-over-latency variant, keep retrying until the
+            // root's failure probe resolves (mark_faulty re-routes stranded
+            // lookups the moment the root is declared dead). The short
+            // budget is only safe when excluding the root leaves an
+            // alternative candidate; if the reroute would fall back to a
+            // speculative self-delivery (every closer member suspected, none
+            // confirmed dead), use the extended budget so the backed-off
+            // retransmissions outlast the probe verdict.
+            let reroute_self_delivers = {
+                let mut excl = self.excluded_set(&p.excluded);
+                excl.insert(missed);
+                matches!(
+                    route(&self.rt, &self.ls, p.key, &|n| excl.contains(&n)),
+                    NextHop::Local
+                )
+            };
+            let budget = if self.ctx.cfg.exclude_root_on_ack_timeout && !reroute_self_delivers {
+                self.ctx.cfg.root_retx_attempts
+            } else {
+                4 + 3 * (self.ctx.cfg.max_probe_retries + 1)
+            };
+            if attempt <= budget {
+                self.ctx.obs.final_retx();
+                self.ctx.obs.retx_attempt(attempt);
+                let rto = self
+                    .reliability
+                    .rtos
+                    .rto_us(
+                        missed,
+                        self.ctx.cfg.ack_rto_min_us,
+                        self.ctx.cfg.ack_rto_initial_us,
+                    )
+                    .saturating_mul(1 << attempt.min(3));
+                let rto = if attempt >= 4 {
+                    rto.max(self.ctx.cfg.t_o_us / 3)
+                } else {
+                    rto
+                };
+                if self.ctx.obs.sampled(id) {
+                    let ev = self.ctx.hop_ev(
+                        id,
+                        HopKind::Retransmit,
+                        missed.0,
+                        p.hops + 1,
+                        attempt,
+                        rto,
+                        "final-hop",
+                    );
+                    self.ctx.obs.hop(ev);
+                }
+                self.send(
+                    missed,
+                    Message::Lookup {
+                        id,
+                        key: p.key,
+                        payload: p.payload,
+                        hops: p.hops + 1,
+                        issued_at_us: p.issued_at_us,
+                        is_retransmit: true,
+                        wants_acks: true,
+                    },
+                    fx,
+                );
+                self.reliability.pending.insert(
+                    id,
+                    PendingLookup {
+                        attempt,
+                        sent_at_us: self.ctx.now_us,
+                        ..p
+                    },
+                );
+                fx.timer(
+                    rto,
+                    TimerKind::AckTimeout {
+                        lookup: id,
+                        attempt,
+                    },
+                );
+                return;
+            }
+            if !self.ctx.cfg.exclude_root_on_ack_timeout {
+                let reason = DropReason::TooManyReroutes;
+                let ev = self.ctx.hop_ev(
+                    id,
+                    HopKind::Drop,
+                    missed.0,
+                    p.hops,
+                    p.attempt,
+                    0,
+                    reason.as_str(),
+                );
+                self.ctx.obs.drop_event(reason, ev);
+                fx.actions.push(Action::LookupDropped { id, reason });
+                return;
+            }
+            // Budget exhausted: fall through to exclude the root and deliver
+            // at the now-closest node.
+        }
+        // Intermediate hop (or the root is already gone): exclude the silent
+        // node and exploit a redundant route. Only genuine reroutes count
+        // against the budget — same-root retransmissions above must not
+        // starve a lookup of its redundant routes.
+        if p.reroutes + 1 > self.ctx.cfg.ack_max_reroutes {
+            let reason = DropReason::TooManyReroutes;
+            let ev = self.ctx.hop_ev(
+                id,
+                HopKind::Drop,
+                missed.0,
+                p.hops,
+                p.attempt,
+                0,
+                reason.as_str(),
+            );
+            self.ctx.obs.drop_event(reason, ev);
+            fx.actions.push(Action::LookupDropped { id, reason });
+            return;
+        }
+        self.ctx.obs.reroute();
+        if self.ctx.obs.sampled(id) {
+            let ev = self
+                .ctx
+                .hop_ev(id, HopKind::Exclude, missed.0, p.hops, p.attempt, 0, "");
+            self.ctx.obs.hop(ev);
+        }
+        let mut excluded = p.excluded;
+        self.reliability.suspected.insert(missed);
+        if !excluded.contains(&missed) {
+            excluded.push(missed);
+        }
+        self.route_lookup(
+            id,
+            p.key,
+            p.payload,
+            p.hops,
+            p.issued_at_us,
+            excluded,
+            p.attempt + 1,
+            p.reroutes + 1,
+            true,
+            true,
+            fx,
+        );
+    }
+
+    pub(crate) fn excluded_set(&self, extra: &[NodeId]) -> FxHashSet<NodeId> {
+        let mut s: FxHashSet<NodeId> = self.reliability.suspected.clone();
+        s.extend(extra.iter().copied());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::events::Event;
+    use crate::id::Id;
+
+    #[test]
+    fn seen_window_is_capped_and_evicts_oldest() {
+        let mut r = Reliability::new();
+        let id = |seq| LookupId { src: Id(1), seq };
+        for seq in 0..(SEEN_CAP as u64 + 5) {
+            r.note_seen(id(seq));
+        }
+        assert_eq!(r.seen.len(), SEEN_CAP);
+        assert!(!r.seen.contains(&id(0)), "oldest entries evicted");
+        assert!(r.seen.contains(&id(SEEN_CAP as u64 + 4)));
+        // Re-noting a seen id must not grow the order queue.
+        r.note_seen(id(SEEN_CAP as u64 + 4));
+        assert_eq!(r.seen_order.len(), SEEN_CAP);
+    }
+
+    #[test]
+    fn stray_ack_is_counted_not_fatal() {
+        let run = obs::Obs::new(0.0, 16, false);
+        let mut n = crate::node::Node::with_obs(
+            Id(1),
+            Config {
+                nearest_neighbor_join: false,
+                ..Config::default()
+            },
+            run.clone(),
+        );
+        let mut fx = Effects::new();
+        n.handle(0, Event::Join { seed: None }, &mut fx);
+        // An ack for a lookup this node never forwarded.
+        let id = LookupId { src: Id(9), seq: 3 };
+        n.handle(
+            10,
+            Event::Receive {
+                from: Id(9),
+                msg: Message::Ack { id },
+            },
+            &mut fx,
+        );
+        assert_eq!(run.snapshot().counter("lookup.stray-ack"), 1);
+    }
+
+    #[test]
+    fn stale_attempt_ack_timeout_is_ignored() {
+        let mut n = crate::node::Node::new(
+            Id(1),
+            Config {
+                nearest_neighbor_join: false,
+                ..Config::default()
+            },
+        );
+        let mut fx = Effects::new();
+        n.handle(0, Event::Join { seed: None }, &mut fx);
+        let _ = fx.drain();
+        // No pending entry at all: the timer must be a no-op, not a panic.
+        n.handle(
+            5,
+            Event::Timer(TimerKind::AckTimeout {
+                lookup: LookupId { src: Id(1), seq: 1 },
+                attempt: 0,
+            }),
+            &mut fx,
+        );
+        assert!(fx.drain().is_empty());
+    }
+}

@@ -2,15 +2,18 @@
 //! Real UDP transport for the MSPastry protocol.
 //!
 //! The [`mspastry::Node`] state machine performs no I/O; this crate binds it
-//! to an actual `UdpSocket`: a per-node thread drives the event loop (socket
-//! receive, timer wheel, local commands), executes the emitted actions, and
-//! resolves node identifiers to socket addresses through an address book
-//! fed by the [`envelope::Envelope`] hint mechanism.
+//! to an actual `UdpSocket`: a per-node thread runs the event loop (socket
+//! receive, timer heap, local commands) and resolves node identifiers to
+//! socket addresses through an address book fed by the
+//! [`envelope::Envelope`] hint mechanism.
 //!
-//! This is the deployment path the paper alludes to ("the code that runs in
-//! the simulator and in the real deployment is the same with the exception
-//! of low level messaging"): the protocol crate is shared verbatim between
-//! `netsim` and this transport.
+//! Protocol actions are not interpreted here: the node is wrapped in the
+//! shared [`mspastry::Driver`], and the private `UdpHost` maps its
+//! [`mspastry::Host`] calls onto the socket, timer heap, and delivery channel. The
+//! simulator implements the same trait, so this is the deployment path the
+//! paper alludes to ("the code that runs in the simulator and in the real
+//! deployment is the same with the exception of low level messaging") —
+//! including the action-execution loop itself.
 //!
 //! # Example
 //!
@@ -34,7 +37,10 @@ pub mod envelope;
 
 pub use envelope::Envelope;
 
-use mspastry::{Action, Config, Effects, Event, Key, Node, NodeId, Payload, TimerKind};
+use mspastry::{
+    Clock, Config, Driver, DropReason, Event, Host, Key, LookupId, Message, Node, NodeId, Payload,
+    TimerKind, WallClock,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io;
@@ -100,15 +106,19 @@ impl UdpNode {
             .name(format!("mspastry-{id}"))
             .spawn(move || {
                 EventLoop {
-                    node: Node::new(id, cfg),
-                    socket,
-                    epoch: Instant::now(),
-                    timers: BinaryHeap::new(),
-                    addrs: HashMap::new(),
+                    driver: Driver::new(Node::new(id, cfg)),
+                    clock: WallClock::new(),
                     cmd_rx,
-                    delivery_tx,
-                    active: active2,
                     buf: vec![0u8; 64 * 1024],
+                    io: Io {
+                        id,
+                        socket,
+                        timers: BinaryHeap::new(),
+                        timer_seq: 0,
+                        addrs: HashMap::new(),
+                        delivery_tx,
+                        active: active2,
+                    },
                 }
                 .run(seed)
             })?;
@@ -179,126 +189,131 @@ impl Drop for UdpNode {
     }
 }
 
-struct EventLoop {
-    node: Node,
+/// The socket-facing state the [`UdpHost`] mutates while the node's driver
+/// is borrowed for a step.
+struct Io {
+    id: NodeId,
     socket: UdpSocket,
-    epoch: Instant,
     timers: BinaryHeap<Reverse<(u64, u64, TimerKind)>>,
+    timer_seq: u64,
     addrs: HashMap<u128, SocketAddr>,
-    cmd_rx: Receiver<Cmd>,
     delivery_tx: Sender<Delivery>,
     active: Arc<AtomicBool>,
+}
+
+/// The UDP deployment's implementation of the protocol [`Host`] surface,
+/// scoped to one event.
+struct UdpHost<'a> {
+    now: u64,
+    io: &'a mut Io,
+}
+
+impl Host for UdpHost<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        let Some(&addr) = self.io.addrs.get(&to.0) else {
+            return; // no address yet; the protocol will retry
+        };
+        let hints = mspastry::codec::referenced_node_ids(&msg)
+            .into_iter()
+            .filter_map(|id| self.io.addrs.get(&id.0).map(|&a| (id, a)))
+            .take(envelope::MAX_HINTS)
+            .collect();
+        let env = Envelope {
+            sender: self.io.id,
+            hints,
+            msg,
+        };
+        let _ = self.io.socket.send_to(&env.encode(), addr);
+    }
+
+    fn set_timer(&mut self, delay_us: u64, kind: TimerKind) {
+        self.io.timer_seq += 1;
+        self.io
+            .timers
+            .push(Reverse((self.now + delay_us, self.io.timer_seq, kind)));
+    }
+
+    fn deliver(&mut self, d: mspastry::Delivery) {
+        let _ = self.io.delivery_tx.send(Delivery {
+            key: d.key,
+            payload: d.payload,
+            hops: d.hops,
+        });
+    }
+
+    fn became_active(&mut self) {
+        self.io.active.store(true, Ordering::Release);
+    }
+
+    fn lookup_dropped(&mut self, _id: LookupId, _reason: DropReason) {}
+}
+
+struct EventLoop {
+    driver: Driver,
+    clock: WallClock,
+    cmd_rx: Receiver<Cmd>,
     buf: Vec<u8>,
+    io: Io,
 }
 
 impl EventLoop {
-    fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+    /// Feeds one event through the shared driver at the current wall time.
+    fn step(&mut self, event: Event) {
+        let now = self.clock.now_us();
+        let mut host = UdpHost {
+            now,
+            io: &mut self.io,
+        };
+        self.driver.step(now, event, &mut host);
     }
 
     fn run(mut self, seed: Option<(NodeId, SocketAddr)>) {
-        let mut fx = Effects::new();
-        let mut timer_seq = 0u64;
         if let Some((seed_id, seed_addr)) = seed {
-            self.addrs.insert(seed_id.0, seed_addr);
+            self.io.addrs.insert(seed_id.0, seed_addr);
         }
-        let now = self.now_us();
-        self.node.handle(
-            now,
-            Event::Join {
-                seed: seed.map(|(id, _)| id),
-            },
-            &mut fx,
-        );
-        self.execute(fx.drain(), &mut timer_seq);
+        self.step(Event::Join {
+            seed: seed.map(|(id, _)| id),
+        });
 
         loop {
             // Local commands.
             loop {
                 match self.cmd_rx.try_recv() {
                     Ok(Cmd::Lookup(key, payload)) => {
-                        let now = self.now_us();
-                        self.node
-                            .handle(now, Event::Lookup { key, payload }, &mut fx);
-                        let actions = fx.drain();
-                        self.execute(actions, &mut timer_seq);
+                        self.step(Event::Lookup { key, payload });
                     }
                     Ok(Cmd::Shutdown) | Err(TryRecvError::Disconnected) => return,
                     Err(TryRecvError::Empty) => break,
                 }
             }
             // Due timers.
-            let now = self.now_us();
-            while let Some(Reverse((at, _, _))) = self.timers.peek() {
+            let now = self.clock.now_us();
+            while let Some(Reverse((at, _, _))) = self.io.timers.peek() {
                 if *at > now {
                     break;
                 }
-                let Reverse((_, _, kind)) = self.timers.pop().unwrap();
-                self.node.handle(now, Event::Timer(kind), &mut fx);
-                let actions = fx.drain();
-                self.execute(actions, &mut timer_seq);
+                let Reverse((_, _, kind)) = self.io.timers.pop().unwrap();
+                self.step(Event::Timer(kind));
             }
             // Incoming datagrams (the socket read timeout paces the loop).
-            match self.socket.recv_from(&mut self.buf) {
+            match self.io.socket.recv_from(&mut self.buf) {
                 Ok((n, from_addr)) => {
                     let bytes = self.buf[..n].to_vec();
                     if let Ok(env) = Envelope::decode(&bytes) {
-                        self.addrs.insert(env.sender.0, from_addr);
+                        self.io.addrs.insert(env.sender.0, from_addr);
                         for (id, addr) in &env.hints {
-                            self.addrs.entry(id.0).or_insert(*addr);
+                            self.io.addrs.entry(id.0).or_insert(*addr);
                         }
-                        let now = self.now_us();
-                        self.node.handle(
-                            now,
-                            Event::Receive {
-                                from: env.sender,
-                                msg: env.msg,
-                            },
-                            &mut fx,
-                        );
-                        let actions = fx.drain();
-                        self.execute(actions, &mut timer_seq);
+                        self.step(Event::Receive {
+                            from: env.sender,
+                            msg: env.msg,
+                        });
                     }
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut => {}
                 Err(_) => {}
-            }
-        }
-    }
-
-    fn execute(&mut self, actions: Vec<Action>, timer_seq: &mut u64) {
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    let Some(&addr) = self.addrs.get(&to.0) else {
-                        continue; // no address yet; the protocol will retry
-                    };
-                    let hints = mspastry::codec::referenced_node_ids(&msg)
-                        .into_iter()
-                        .filter_map(|id| self.addrs.get(&id.0).map(|&a| (id, a)))
-                        .take(envelope::MAX_HINTS)
-                        .collect();
-                    let env = Envelope {
-                        sender: self.node.id(),
-                        hints,
-                        msg,
-                    };
-                    let _ = self.socket.send_to(&env.encode(), addr);
-                }
-                Action::SetTimer { delay_us, kind } => {
-                    *timer_seq += 1;
-                    self.timers
-                        .push(Reverse((self.now_us() + delay_us, *timer_seq, kind)));
-                }
-                Action::Deliver {
-                    key, payload, hops, ..
-                } => {
-                    let _ = self.delivery_tx.send(Delivery { key, payload, hops });
-                }
-                Action::BecameActive => self.active.store(true, Ordering::Release),
-                Action::LookupDropped { .. } => {}
             }
         }
     }
@@ -318,55 +333,5 @@ pub fn lan_config() -> Config {
         ack_rto_min_us: 2_000,
         join_retry_us: 1_000_000,
         ..Config::default()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mspastry::Id;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-
-    #[test]
-    fn udp_overlay_forms_and_routes_lookups() {
-        let mut rng = SmallRng::seed_from_u64(77);
-        let n = 5;
-        let ids: Vec<Id> = (0..n).map(|_| Id::random(&mut rng)).collect();
-        let mut nodes = Vec::new();
-        let boot = UdpNode::spawn(ids[0], lan_config(), "127.0.0.1:0", None).unwrap();
-        let boot_contact = (boot.id(), boot.local_addr());
-        nodes.push(boot);
-        for &id in &ids[1..] {
-            let node = UdpNode::spawn(id, lan_config(), "127.0.0.1:0", Some(boot_contact)).unwrap();
-            assert!(
-                node.wait_active(Duration::from_secs(20)),
-                "node {id} failed to join"
-            );
-            nodes.push(node);
-        }
-        assert!(nodes.iter().all(|n| n.is_active()));
-
-        // Route lookups for keys equal to each node's id (the root is then
-        // unambiguous) from every other node.
-        for (i, target) in ids.iter().enumerate() {
-            let issuer = &nodes[(i + 1) % n];
-            issuer.lookup(*target, i as u64);
-        }
-        let deadline = Instant::now() + Duration::from_secs(20);
-        let mut received = 0;
-        while received < n && Instant::now() < deadline {
-            for (i, node) in nodes.iter().enumerate() {
-                while let Ok(d) = node.deliveries().try_recv() {
-                    assert_eq!(d.key, ids[i], "delivered at the key's root");
-                    received += 1;
-                }
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        assert_eq!(received, n, "all lookups delivered at their roots");
-        for node in nodes {
-            node.shutdown();
-        }
     }
 }
