@@ -162,8 +162,15 @@ pub fn machine_schedule(
     )
 }
 
-/// Runs the Squirrel deployment simulation.
-pub fn run_squirrel(params: &SquirrelParams) -> SquirrelResult {
+/// Builds the complete run configuration of a Squirrel simulation — machine
+/// schedule, web workload mapped onto machine sessions, protocol and
+/// topology — plus the count of requests that never reach the overlay
+/// because their machine is down at request time.
+///
+/// Fully deterministic in `params`; running the returned configuration with
+/// [`harness::run`] and post-processing with [`cache_stats`] is exactly
+/// [`run_squirrel`].
+pub fn build_run(params: &SquirrelParams) -> (RunConfig, u64) {
     let requests = web_workload::generate(&params.web);
     let (trace, schedule) = machine_schedule(
         params.web.clients,
@@ -195,11 +202,15 @@ pub fn run_squirrel(params: &SquirrelParams) -> SquirrelResult {
     cfg.record_deliveries = true;
     cfg.seed = params.seed;
     cfg.metrics_window_us = 3600 * 1_000_000; // hourly series, as in Fig. 8
-    let run_result = run(cfg);
+    (cfg, skipped)
+}
 
-    // Home-store cache model: (home session, object) pairs that have been
-    // fetched once are warm; a session's cache dies with the session, and a
-    // root change moves requests to a cold home node.
+/// Computes home-store cache statistics from a finished run:
+/// (home session, object) pairs that have been fetched once are warm; a
+/// session's cache dies with the session, and a root change moves requests
+/// to a cold home node. `skipped_offline` is the second member of
+/// [`build_run`]'s result.
+pub fn cache_stats(run_result: &RunResult, skipped_offline: u64) -> CacheStats {
     let mut warm: HashSet<(usize, u64)> = HashSet::new();
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -210,14 +221,20 @@ pub fn run_squirrel(params: &SquirrelParams) -> SquirrelResult {
             hits += 1;
         }
     }
-    let served = hits + misses;
+    CacheStats {
+        served: hits + misses,
+        hits,
+        misses,
+        skipped: skipped_offline + run_result.skipped_scripted,
+    }
+}
+
+/// Runs the Squirrel deployment simulation.
+pub fn run_squirrel(params: &SquirrelParams) -> SquirrelResult {
+    let (cfg, skipped) = build_run(params);
+    let run_result = run(cfg);
     SquirrelResult {
-        cache: CacheStats {
-            served,
-            hits,
-            misses,
-            skipped: skipped + run_result.skipped_scripted,
-        },
+        cache: cache_stats(&run_result, skipped),
         run: run_result,
     }
 }

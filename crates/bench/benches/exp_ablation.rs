@@ -7,7 +7,7 @@
 //! probing-only cannot reach 1e-5 losses.
 
 use bench::{header, scale};
-use harness::Workload;
+use harness::scenario::{ABLATION_COMBOS, ABLATION_RATES};
 
 fn main() {
     let s = scale();
@@ -16,25 +16,21 @@ fn main() {
         "per-hop acks and active probing on/off (Gnutella trace)",
         s,
     );
+    // The scenario's points are the four on/off combinations followed by the
+    // four low-traffic delay-contribution runs.
+    let points = bench::scenarios()
+        .get("exp_ablation")
+        .expect("registered scenario")
+        .expand(s);
+    let (combo_points, rate_points) = points.split_at(ABLATION_COMBOS.len());
 
     println!();
     println!(
         "{:>22} | {:>10} | {:>6} | {:>18}",
         "configuration", "loss", "RDP", "control msg/s/node"
     );
-    let combos = [
-        ("neither", false, false),
-        ("probing only", false, true),
-        ("acks only", true, false),
-        ("both (base)", true, true),
-    ];
-    for (i, (name, acks, probing)) in combos.into_iter().enumerate() {
-        let trace = bench::gnutella_sweep_trace(s, 40 + i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.protocol.per_hop_acks = acks;
-        cfg.protocol.active_rt_probing = probing;
-        cfg.seed = 5000 + i as u64;
-        let res = bench::timed_run(name, cfg);
+    for ((name, _, _), p) in ABLATION_COMBOS.into_iter().zip(combo_points) {
+        let res = bench::timed_run(name, (p.build)(0));
         println!(
             "{:>22} | {:>10} | {:>6.2} | {:>18.3}",
             name,
@@ -50,23 +46,8 @@ fn main() {
         "{:>22} | {:>10} | {:>6}",
         "configuration", "lookups/s", "RDP"
     );
-    for (i, (name, probing, rate)) in [
-        ("acks only", false, 0.01),
-        ("both", true, 0.01),
-        ("acks only", false, 0.001),
-        ("both", true, 0.001),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let trace = bench::gnutella_sweep_trace(s, 50 + i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.protocol.active_rt_probing = probing;
-        cfg.workload = Workload::Poisson {
-            rate_per_node_per_sec: rate,
-        };
-        cfg.seed = 6000 + i as u64;
-        let res = bench::timed_run(&format!("{name}@{rate}"), cfg);
+    for ((name, _, rate), p) in ABLATION_RATES.into_iter().zip(rate_points) {
+        let res = bench::timed_run(&p.label, (p.build)(0));
         println!("{:>22} | {:>10} | {:>6.2}", name, rate, res.report.mean_rdp);
     }
     println!();

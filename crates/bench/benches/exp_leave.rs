@@ -10,6 +10,7 @@
 //! slightly. Consistency must remain perfect in every configuration.
 
 use bench::{header, scale};
+use harness::scenario::LEAVE_FRACTIONS;
 
 fn main() {
     let s = scale();
@@ -18,17 +19,17 @@ fn main() {
         "announced departures vs silent crashes (Gnutella trace)",
         s,
     );
+    let points = bench::scenarios()
+        .get("exp_leave")
+        .expect("registered scenario")
+        .expand(s);
     println!();
     println!(
         "{:>9} | {:>10} | {:>6} | {:>11} | {:>18}",
         "graceful", "loss", "RDP", "leafset/s/n", "control msg/s/node"
     );
-    for (i, frac) in [0.0, 0.5, 1.0].into_iter().enumerate() {
-        let trace = bench::gnutella_sweep_trace(s, 80 + i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.graceful_leave_fraction = frac;
-        cfg.seed = 9000 + i as u64;
-        let res = bench::timed_run(&format!("graceful={frac}"), cfg);
+    for (frac, p) in LEAVE_FRACTIONS.into_iter().zip(&points) {
+        let res = bench::timed_run(&p.label, (p.build)(0));
         println!(
             "{:>8.0}% | {:>10} | {:>6.2} | {:>11.4} | {:>18.3}",
             frac * 100.0,

@@ -12,10 +12,7 @@
 //! root after a failure is almost always the first replica).
 
 use apps::kvstore;
-use bench::{header, scale, MIN};
-use churn::poisson::{self, PoissonParams};
-use harness::{RunConfig, Workload};
-use topology::TopologyKind;
+use bench::{header, scale};
 
 fn main() {
     let s = scale();
@@ -25,24 +22,10 @@ fn main() {
         s,
     );
     // One churny run; replication factors are evaluated by post-processing
-    // the same delivery log, so the comparison is exactly controlled.
-    let dur = 40 * MIN;
-    let trace = poisson::trace(&PoissonParams {
-        mean_nodes: 120.0,
-        mean_session_us: 15.0 * 60e6,
-        duration_us: dur,
-        seed: 31,
-    });
-    let n_sessions = trace.sessions().len();
-    // GETs within 5 minutes of their PUT: the window where root changes are
-    // failure-driven (replica takeover) rather than join-driven (which needs
-    // value migration the home-store model does not perform).
-    let ops = kvstore::generate_ops_with_gap(400, 3, n_sessions, dur, Some(5 * MIN), 32);
-    let mut cfg = RunConfig::new(trace);
-    cfg.topology = TopologyKind::GaTechSmall;
-    cfg.warmup_us = 10 * MIN;
-    cfg.workload = Workload::Scripted(kvstore::to_script(&ops));
-    cfg.record_deliveries = true;
+    // the same delivery log, so the comparison is exactly controlled. The
+    // op list is needed alongside the `RunConfig`, so this bench uses the
+    // registry point's underlying builder directly.
+    let (cfg, ops) = bench::replication_setup(0);
     let res = bench::timed_run("kv-churn", cfg);
 
     println!();

@@ -6,6 +6,7 @@
 //! traffic 2.6x higher at the tighter target.
 
 use bench::{header, scale};
+use harness::scenario::SELFTUNING_TARGETS;
 
 fn main() {
     let s = scale();
@@ -14,19 +15,18 @@ fn main() {
         "achieved raw loss vs target (per-hop acks off)",
         s,
     );
+    let points = bench::scenarios()
+        .get("exp_selftuning")
+        .expect("registered scenario")
+        .expand(s);
     println!();
     println!(
         "{:>8} | {:>10} | {:>18} | {:>14}",
         "target", "loss", "control msg/s/node", "mean Trt (s)"
     );
     let mut controls = Vec::new();
-    for (i, target) in [0.05, 0.01].into_iter().enumerate() {
-        let trace = bench::gnutella_sweep_trace(s, 60 + i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.protocol.per_hop_acks = false;
-        cfg.protocol.target_raw_loss = target;
-        cfg.seed = 7000 + i as u64;
-        let res = bench::timed_run(&format!("Lr={target}"), cfg);
+    for (target, p) in SELFTUNING_TARGETS.into_iter().zip(&points) {
+        let res = bench::timed_run(&p.label, (p.build)(0));
         println!(
             "{:>7.0}% | {:>10} | {:>18.3} | {:>14.1}",
             target * 100.0,

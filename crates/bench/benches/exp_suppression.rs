@@ -6,7 +6,8 @@
 //! RDP by 13 % (failures are detected sooner).
 
 use bench::{header, scale};
-use harness::{category_index, Workload};
+use harness::category_index;
+use harness::scenario::SUPPRESSION_RATES;
 use mspastry::Category;
 
 fn main() {
@@ -16,24 +17,18 @@ fn main() {
         "probe traffic vs application traffic (Gnutella trace)",
         s,
     );
+    let points = bench::scenarios()
+        .get("exp_suppression")
+        .expect("registered scenario")
+        .expand(s);
     println!();
     println!(
         "{:>12} | {:>12} | {:>12} | {:>6}",
         "lookups/s", "rt-probes/s", "leafset/s", "RDP"
     );
     let mut probes_at = Vec::new();
-    for (i, rate) in [0.0, 0.01, 0.1, 1.0].into_iter().enumerate() {
-        let trace = bench::gnutella_sweep_trace(s, 70 + i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.workload = if rate == 0.0 {
-            Workload::None
-        } else {
-            Workload::Poisson {
-                rate_per_node_per_sec: rate,
-            }
-        };
-        cfg.seed = 8000 + i as u64;
-        let res = bench::timed_run(&format!("rate={rate}"), cfg);
+    for (rate, p) in SUPPRESSION_RATES.into_iter().zip(&points) {
+        let res = bench::timed_run(&p.label, (p.build)(0));
         // Exact liveness-probe count (the category also contains
         // unsuppressed maintenance messages).
         let rt = res

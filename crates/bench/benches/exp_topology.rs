@@ -7,38 +7,25 @@
 //! topology-dependent and ordered CorpNet < GATech < Mercator (paper: 1.45 /
 //! 1.80 / 2.12); losses ~1e-5 and zero inconsistencies everywhere.
 
-use bench::{header, scale, Scale};
-use topology::TopologyKind;
+use bench::{header, scale};
 
 fn main() {
     let s = scale();
     header("Topology table", "Gnutella trace on three topologies", s);
-    let topologies: [(&str, TopologyKind); 3] = match s {
-        Scale::Full => [
-            ("CorpNet", TopologyKind::CorpNet),
-            ("GATech", TopologyKind::GaTech),
-            ("Mercator", TopologyKind::Mercator),
-        ],
-        Scale::Quick => [
-            ("CorpNet", TopologyKind::CorpNet),
-            ("GATech", TopologyKind::GaTechSmall),
-            ("Mercator", TopologyKind::Mercator),
-        ],
-    };
+    let points = bench::scenarios()
+        .get("exp_topology")
+        .expect("registered scenario")
+        .expand(s);
     println!();
     println!(
         "{:>9} | {:>6} | {:>18} | {:>10} | {:>10}",
         "topology", "RDP", "control msg/s/node", "loss", "incorrect"
     );
-    for (i, (name, kind)) in topologies.into_iter().enumerate() {
-        let trace = bench::gnutella_sweep_trace(s, 30 + i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.topology = kind;
-        cfg.seed = 4000 + i as u64;
-        let res = bench::timed_run(name, cfg);
+    for p in &points {
+        let res = bench::timed_run(&p.label, (p.build)(0));
         println!(
             "{:>9} | {:>6.2} | {:>18.3} | {:>10} | {:>10}",
-            name,
+            p.label,
             res.report.mean_rdp,
             res.report.control_msgs_per_node_per_sec,
             bench::sci(res.report.loss_rate),

@@ -8,8 +8,8 @@
 //! the Gnutella breakdown is dominated by distance probes and leaf-set
 //! heartbeats/probes.
 
-use bench::{base_config, header, scale, timed_run, HOUR};
-use harness::CATEGORY_NAMES;
+use bench::{header, scale, timed_run, HOUR};
+use harness::{series_index, CATEGORY_NAMES};
 
 fn main() {
     let s = scale();
@@ -18,18 +18,15 @@ fn main() {
         "RDP and control traffic vs normalized time (3 traces)",
         s,
     );
-    let runs = [
-        ("Gnutella", bench::gnutella_trace(s)),
-        ("OverNet", bench::overnet_trace(s)),
-        ("Microsoft", bench::microsoft_trace(s)),
-    ];
+    // The Microsoft point widens its metrics window to an hour inside the
+    // scenario definition, matching the paper's plots.
+    let points = bench::scenarios()
+        .get("fig4_traces")
+        .expect("registered scenario")
+        .expand(s);
     let mut results = Vec::new();
-    for (name, trace) in runs {
-        let mut cfg = base_config(s, trace);
-        if name == "Microsoft" {
-            cfg.metrics_window_us = HOUR;
-        }
-        results.push((name, timed_run(name, cfg)));
+    for p in &points {
+        results.push((p.label.clone(), timed_run(&p.label, (p.build)(0))));
     }
 
     println!();
@@ -44,14 +41,15 @@ fn main() {
         print!("{frac:>5.1} |");
         for (_, r) in &results {
             let w = &r.report.windows;
-            let idx = ((w.len() as f64 * frac) as usize).min(w.len().saturating_sub(1));
-            print!(" {:>9.2}", w[idx].rdp);
+            print!(" {:>9.2}", w[series_index(w.len(), frac)].rdp);
         }
         print!(" |");
         for (_, r) in &results {
             let w = &r.report.windows;
-            let idx = ((w.len() as f64 * frac) as usize).min(w.len().saturating_sub(1));
-            print!(" {:>9.3}", w[idx].control_per_node_per_sec);
+            print!(
+                " {:>9.3}",
+                w[series_index(w.len(), frac)].control_per_node_per_sec
+            );
         }
         println!();
     }
@@ -75,8 +73,9 @@ fn main() {
         "control_per_node_per_sec",
         "active",
     ];
-    bench::csv::write("fig4_windows", &fig4_header, &rows);
-    bench::json::write_table("fig4_windows", &fig4_header, &rows);
+    let stem = bench::artifact_stem("fig4_windows", s);
+    bench::csv::write(&stem, &fig4_header, &rows);
+    bench::json::write_table(&stem, &fig4_header, &rows);
 
     println!();
     println!("--- whole-trace means ---");

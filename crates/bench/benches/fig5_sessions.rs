@@ -7,17 +7,17 @@
 //! nodes die before activating); RDP roughly flat for sessions >= 60 min,
 //! rising at 15 and especially 5 minutes; joins complete within seconds.
 
-use bench::{header, scale, timed_run, Scale, HOUR, MIN};
-use churn::poisson::{self, PoissonParams};
-use harness::RunConfig;
+use bench::{header, scale, timed_run};
+use harness::quantile_index;
+use harness::scenario::FIG5_SESSION_MINUTES;
 
 fn main() {
     let s = scale();
     header("Figure 5", "Poisson traces: session-time sweep", s);
-    let (mean_nodes, duration) = match s {
-        Scale::Full => (10_000.0, 4 * HOUR),
-        Scale::Quick => (150.0, 75 * MIN),
-    };
+    let points = bench::scenarios()
+        .get("fig5_sessions")
+        .expect("registered scenario")
+        .expand(s);
 
     println!();
     println!(
@@ -26,18 +26,8 @@ fn main() {
     );
     let mut cdf_sources = Vec::new();
     let mut rows = Vec::new();
-    for minutes in PoissonParams::SESSION_MINUTES {
-        let trace = poisson::trace(&PoissonParams {
-            mean_nodes,
-            mean_session_us: minutes as f64 * 60e6,
-            duration_us: duration,
-            seed: 404 + minutes,
-        });
-        let mut cfg = RunConfig::new(trace);
-        cfg.topology = bench::gatech(s);
-        cfg.warmup_us = 15 * MIN;
-        cfg.metrics_window_us = 5 * MIN;
-        let res = timed_run(&format!("{minutes}min"), cfg);
+    for (minutes, p) in FIG5_SESSION_MINUTES.into_iter().zip(&points) {
+        let res = timed_run(&p.label, (p.build)(0));
         println!(
             "{:>6}mn | {:>6.2} | {:>9} | {:>18.3} | {:>8} | {:>9}",
             minutes,
@@ -65,8 +55,9 @@ fn main() {
         "control_per_node_per_sec",
         "active",
     ];
-    bench::csv::write("fig5_sessions", &fig5_header, &rows);
-    bench::json::write_table("fig5_sessions", &fig5_header, &rows);
+    let stem = bench::artifact_stem("fig5_sessions", s);
+    bench::csv::write(&stem, &fig5_header, &rows);
+    bench::json::write_table(&stem, &fig5_header, &rows);
 
     println!();
     println!("--- right: join-latency CDF (seconds) ---");
@@ -81,8 +72,10 @@ fn main() {
                 print!(" {:>10} |", "-");
                 continue;
             }
-            let idx = ((lats.len() - 1) as f64 * q).round() as usize;
-            print!(" {:>10.1} |", lats[idx] as f64 / 1e6);
+            print!(
+                " {:>10.1} |",
+                lats[quantile_index(lats.len(), q)] as f64 / 1e6
+            );
         }
         println!();
     }

@@ -8,22 +8,23 @@
 //! at the higher loss rates and stay ~1e-5.
 
 use bench::{header, scale};
+use harness::scenario::FIG6_LOSS_RATES;
 
 fn main() {
     let s = scale();
     header("Figure 6", "network-loss sweep (Gnutella trace)", s);
+    let points = bench::scenarios()
+        .get("fig6_loss")
+        .expect("registered scenario")
+        .expand(s);
     println!();
     println!(
         "{:>6} | {:>6} | {:>18} | {:>10} | {:>10}",
         "loss%", "RDP", "control msg/s/node", "lookup loss", "incorrect"
     );
     let mut rows = Vec::new();
-    for (i, loss) in [0.0, 0.01, 0.02, 0.03, 0.04, 0.05].iter().enumerate() {
-        let trace = bench::gnutella_sweep_trace(s, i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.network_loss_rate = *loss;
-        cfg.seed = 1000 + i as u64;
-        let res = bench::timed_run(&format!("loss {:.0}%", loss * 100.0), cfg);
+    for (loss, p) in FIG6_LOSS_RATES.into_iter().zip(&points) {
+        let res = bench::timed_run(&p.label, (p.build)(0));
         println!(
             "{:>6.1} | {:>6.2} | {:>18.3} | {:>10} | {:>10}",
             loss * 100.0,
@@ -47,8 +48,9 @@ fn main() {
         "lookup_loss",
         "incorrect_rate",
     ];
-    bench::csv::write("fig6_loss", &fig6_header, &rows);
-    bench::json::write_table("fig6_loss", &fig6_header, &rows);
+    let stem = bench::artifact_stem("fig6_loss", s);
+    bench::csv::write(&stem, &fig6_header, &rows);
+    bench::json::write_table(&stem, &fig6_header, &rows);
     println!();
     println!("expected (paper): lookup loss 1.5e-5 (0%) .. 3.3e-5 (5%);");
     println!("no inconsistencies at <=1% loss, ~1.6e-5 at 5%; RDP and control");

@@ -8,6 +8,7 @@
 //! while control traffic changes little (~0.05 msg/s/node from b=4 to b=1).
 
 use bench::{header, scale};
+use harness::scenario::{FIG7_DIGIT_WIDTHS, FIG7_LEAF_SET_SIZES};
 
 fn main() {
     let s = scale();
@@ -16,6 +17,12 @@ fn main() {
         "parameter sweeps: leaf-set size l and digit width b",
         s,
     );
+    // The scenario's points are the l sweep followed by the b sweep.
+    let points = bench::scenarios()
+        .get("fig7_params")
+        .expect("registered scenario")
+        .expand(s);
+    let (l_points, b_points) = points.split_at(FIG7_LEAF_SET_SIZES.len());
 
     let mut rows = Vec::new();
     println!();
@@ -24,12 +31,8 @@ fn main() {
         "{:>4} | {:>18} | {:>6} | {:>6}",
         "l", "control msg/s/node", "RDP", "hops"
     );
-    for (i, l) in [8usize, 16, 32, 48, 64].iter().enumerate() {
-        let trace = bench::gnutella_sweep_trace(s, 10 + i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.protocol.leaf_set_size = *l;
-        cfg.seed = 2000 + i as u64;
-        let res = bench::timed_run(&format!("l={l}"), cfg);
+    for (l, p) in FIG7_LEAF_SET_SIZES.into_iter().zip(l_points) {
+        let res = bench::timed_run(&p.label, (p.build)(0));
         println!(
             "{:>4} | {:>18.3} | {:>6.2} | {:>6.2}",
             l, res.report.control_msgs_per_node_per_sec, res.report.mean_rdp, res.report.mean_hops
@@ -49,12 +52,8 @@ fn main() {
         "{:>4} | {:>6} | {:>6} | {:>18}",
         "b", "RDP", "hops", "control msg/s/node"
     );
-    for (i, b) in [1u8, 2, 3, 4, 5].iter().enumerate() {
-        let trace = bench::gnutella_sweep_trace(s, 20 + i as u64);
-        let mut cfg = bench::base_config(s, trace);
-        cfg.protocol.b = *b;
-        cfg.seed = 3000 + i as u64;
-        let res = bench::timed_run(&format!("b={b}"), cfg);
+    for (b, p) in FIG7_DIGIT_WIDTHS.into_iter().zip(b_points) {
+        let res = bench::timed_run(&p.label, (p.build)(0));
         println!(
             "{:>4} | {:>6.2} | {:>6.2} | {:>18.3}",
             b, res.report.mean_rdp, res.report.mean_hops, res.report.control_msgs_per_node_per_sec
@@ -68,7 +67,7 @@ fn main() {
         ]);
     }
     bench::json::write_table(
-        "fig7_params",
+        &bench::artifact_stem("fig7_params", s),
         &["sweep", "value", "control_per_node_per_sec", "rdp", "hops"],
         &rows,
     );

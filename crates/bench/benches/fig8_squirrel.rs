@@ -9,51 +9,41 @@
 //! quiet weekend, and traffic levels a small corporate deployment would
 //! produce.
 
-use apps::squirrel::{run_squirrel, SquirrelParams};
-use apps::web_workload::WebWorkloadParams;
-use bench::{header, scale, Scale, HOUR};
+use apps::squirrel;
+use bench::{header, scale, HOUR};
 use churn::synth::DAY_US;
 
 fn main() {
     let s = scale();
     header("Figure 8", "Squirrel deployment traffic, simulated", s);
-    let params = match s {
-        Scale::Full => SquirrelParams::default(),
-        Scale::Quick => SquirrelParams {
-            web: WebWorkloadParams {
-                clients: 52,
-                duration_us: 6 * DAY_US,
-                objects: 8_000,
-                ..Default::default()
-            },
-            ..Default::default()
-        },
-    };
-    let t0 = std::time::Instant::now();
-    let res = run_squirrel(&params);
-    eprintln!(
-        "[squirrel] {:.1}s wall, {} sim events",
-        t0.elapsed().as_secs_f64(),
-        res.run.sim_events
-    );
+    let points = bench::scenarios()
+        .get("fig8_squirrel")
+        .expect("registered scenario")
+        .expand(s);
+    // The scenario point's build is `squirrel::build_run` on `fig8_params`;
+    // rebuilding here recovers the offline-skipped request count the cache
+    // statistics need (the registry only carries the `RunConfig`).
+    let (cfg, skipped_offline) = squirrel::build_run(&bench::fig8_params(s));
+    let res = bench::timed_run(&points[0].label, cfg);
+    let cache = squirrel::cache_stats(&res, skipped_offline);
 
     println!();
     println!(
         "cache: served {} hits {} misses {} (hit rate {:.1}%), skipped {}",
-        res.cache.served,
-        res.cache.hits,
-        res.cache.misses,
-        res.cache.hit_rate() * 100.0,
-        res.cache.skipped
+        cache.served,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.skipped
     );
     println!(
         "routing: incorrect {} lost {} of {} lookups",
-        res.run.report.incorrect, res.run.report.lost, res.run.report.issued
+        res.report.incorrect, res.report.lost, res.report.issued
     );
 
     println!();
     println!("hourly total messages per node per second (trace starts Thursday):");
-    let windows = &res.run.report.windows;
+    let windows = &res.report.windows;
     for (h, w) in windows.iter().enumerate() {
         let total = w.control_per_node_per_sec + w.per_category_per_node_per_sec[5];
         if h % 3 == 0 {
@@ -63,7 +53,7 @@ fn main() {
         }
     }
     bench::json::write_table(
-        "fig8_squirrel",
+        &bench::artifact_stem("fig8_squirrel", s),
         &["hour", "msgs_per_node_per_sec"],
         &windows
             .iter()

@@ -16,7 +16,7 @@
 //! the flight-recorder overhead; results are printed but *not* written to
 //! `BENCH_throughput.json` (the reference file tracks the untraced path).
 
-use bench::{gnutella_trace, header, scale, Scale};
+use bench::{header, scale, Scale};
 
 fn runs() -> usize {
     std::env::var("MSPASTRY_BENCH_RUNS")
@@ -87,9 +87,15 @@ fn main() {
         println!("hop-trace sampling at {trace_rate} (overhead measurement)");
     }
 
+    // The §5.1 Gnutella/GATech reference configuration is the first point of
+    // the fig4 scenario.
+    let points = bench::scenarios()
+        .get("fig4_traces")
+        .expect("registered scenario")
+        .expand(s);
     let mut best: Option<Measurement> = None;
     for run in 0..runs() {
-        let mut cfg = bench::base_config(s, gnutella_trace(s));
+        let mut cfg = (points[0].build)(0);
         cfg.trace_sample_rate = trace_rate;
         let t0 = std::time::Instant::now();
         let res = harness::run(cfg);

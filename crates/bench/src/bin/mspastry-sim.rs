@@ -5,6 +5,15 @@
 //! ```text
 //! USAGE: mspastry-sim [OPTIONS]
 //!
+//! Scenario mode (run a registered experiment, optionally multi-seed):
+//!   --list-scenarios    list the registered scenarios and exit
+//!   --scenario NAME     run a registered scenario as a sweep
+//!   --seeds N           independent seeds per scenario point       [1]
+//!   --jobs N            worker threads (0 = all cores)             [0]
+//!   --json [PATH]       write the sweep artifact (and a CSV next to it)
+//!                       [results/<scenario>.<scale>.s<seeds>.json]
+//!
+//! Ad-hoc mode (assemble a single run from flags):
 //!   --churn NAME        gnutella | overnet | microsoft | poisson  [poisson]
 //!   --nodes N           mean active nodes (poisson) / scale base  [200]
 //!   --session MIN       mean session minutes (poisson)            [60]
@@ -27,7 +36,9 @@
 //! ```
 
 use churn::poisson::PoissonParams;
-use harness::{run, RunConfig, Workload, CATEGORY_NAMES};
+use harness::{
+    run, run_sweep, sweep_csv, sweep_json, RunConfig, SweepConfig, Workload, CATEGORY_NAMES,
+};
 use topology::TopologyKind;
 
 fn main() {
@@ -50,6 +61,28 @@ fn main() {
             })
             .unwrap_or(default)
     };
+
+    if flag("--list-scenarios") {
+        let s = bench::scale();
+        println!("{:<22} {:<12} title", "name", "figure");
+        for sc in bench::scenarios().iter() {
+            println!(
+                "{:<22} {:<12} {} ({} points at this scale)",
+                sc.name,
+                sc.figure,
+                sc.title,
+                sc.expand(s).len()
+            );
+        }
+        return;
+    }
+    if let Some(name) = get("--scenario") {
+        run_scenario(&name, &args);
+        return;
+    }
+    if flag("--seeds") || flag("--jobs") {
+        die("--seeds/--jobs only apply to scenario sweeps; add --scenario NAME");
+    }
 
     let hours = parse_or("--hours", 2.0);
     let duration_us = (hours * 3600e6) as u64;
@@ -196,6 +229,93 @@ fn main() {
                 res.trace_overwritten
             ),
             Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+    }
+}
+
+/// Runs a registered scenario as a (possibly multi-seed, parallel) sweep and
+/// prints per-point means; `--json [PATH]` also writes the
+/// `mspastry-series/2` artifact plus a CSV next to it.
+fn run_scenario(name: &str, args: &[String]) {
+    let parse_or = |opt: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == opt)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("bad value for {opt}: {v}")))
+            })
+            .unwrap_or(default)
+    };
+    // `--json` takes an *optional* path in scenario mode: a following token
+    // that looks like another option means "use the default path".
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).filter(|v| !v.starts_with("--")).cloned());
+
+    let s = bench::scale();
+    let registry = bench::scenarios();
+    let Some(scenario) = registry.get(name) else {
+        die(&format!("unknown scenario: {name} (see --list-scenarios)"));
+    };
+    let mut cfg = SweepConfig::new(s);
+    cfg.seeds = parse_or("--seeds", 1);
+    cfg.jobs = parse_or("--jobs", 0) as usize;
+
+    eprintln!(
+        "sweeping {} ({}): {} points x {} seeds at {} scale ...",
+        scenario.name,
+        scenario.figure,
+        scenario.expand(s).len(),
+        cfg.seeds,
+        s.name()
+    );
+    let t0 = std::time::Instant::now();
+    let sweep = run_sweep(scenario, &cfg);
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    println!(
+        "{:<22} | {:>10} | {:>10} | {:>6} | {:>9}",
+        "point", "loss", "incorrect", "RDP", "ctl/s/n"
+    );
+    for p in &sweep.points {
+        let stat = |metric: &str| {
+            p.stats
+                .iter()
+                .find(|m| m.name == metric)
+                .map(|m| m.mean)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<22} | {:>10.2e} | {:>10.2e} | {:>6.2} | {:>9.3}",
+            p.label,
+            stat("loss_rate"),
+            stat("incorrect_rate"),
+            stat("mean_rdp"),
+            stat("control_msgs_per_node_per_sec"),
+        );
+    }
+
+    if let Some(path) = json {
+        let stem = format!("results/{}.{}.s{}", scenario.name, s.name(), cfg.seeds);
+        let json_path = path.unwrap_or_else(|| format!("{stem}.json"));
+        let csv_path = json_path
+            .strip_suffix(".json")
+            .map(|p| format!("{p}.csv"))
+            .unwrap_or_else(|| format!("{json_path}.csv"));
+        if let Some(dir) = std::path::Path::new(&json_path).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        match std::fs::write(&json_path, sweep_json(&sweep)) {
+            Ok(()) => eprintln!("wrote sweep artifact to {json_path}"),
+            Err(e) => die(&format!("cannot write {json_path}: {e}")),
+        }
+        match std::fs::write(&csv_path, sweep_csv(&sweep)) {
+            Ok(()) => eprintln!("wrote sweep table to {csv_path}"),
+            Err(e) => die(&format!("cannot write {csv_path}: {e}")),
         }
     }
 }

@@ -2,7 +2,12 @@
 //!
 //! Every figure and table of the paper's §5 has a bench target under
 //! `benches/` (all with `harness = false`, so `cargo bench` runs them as
-//! plain binaries that print the same rows/series the paper reports).
+//! plain binaries that print the same rows/series the paper reports). The
+//! experiment *definitions* live in the scenario registry
+//! ([`harness::scenario`]); the benches here are thin declarations that look
+//! their scenario up in [`scenarios`], run its points, and pretty-print the
+//! paper's tables. The `mspastry-sim` CLI executes the same registry
+//! entries (`--scenario NAME`), optionally as a parallel multi-seed sweep.
 //!
 //! Two scales are supported, selected by the `MSPASTRY_SCALE` environment
 //! variable:
@@ -12,107 +17,95 @@
 //!   where crossovers fall) matches the paper.
 //! * `full` — the paper's populations and durations (hours of wall time).
 
-use churn::gnutella::GnutellaParams;
-use churn::microsoft::MicrosoftParams;
-use churn::overnet::OvernetParams;
-use churn::Trace;
-use harness::{RunConfig, RunResult};
+use apps::kvstore;
+use apps::squirrel::{self, SquirrelParams};
+use apps::web_workload::WebWorkloadParams;
+use churn::poisson::{self, PoissonParams};
+use churn::synth::DAY_US;
+use harness::scenario::{Registry, Scenario, ScenarioPoint, SEED_RUN_STRIDE, SEED_TRACE_STRIDE};
+use harness::{RunConfig, RunResult, Workload};
 use topology::TopologyKind;
 
-/// One minute in microseconds.
-pub const MIN: u64 = 60 * 1_000_000;
-/// One hour in microseconds.
-pub const HOUR: u64 = 60 * MIN;
+pub use harness::scenario::{
+    base_config, gatech, gnutella_sweep_trace, gnutella_trace, microsoft_trace, overnet_trace,
+    scale, Scale, HOUR, MIN,
+};
 
-/// Experiment scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Scaled-down runs (default; minutes of wall time).
-    Quick,
-    /// Paper-scale runs (hours of wall time).
-    Full,
+/// The full scenario registry: every harness-expressible experiment
+/// ([`Registry::builtin`]) plus the application-backed scenarios that need
+/// the `apps` layer (`fig8_squirrel`, `exp_replication`).
+pub fn scenarios() -> Registry {
+    let mut r = Registry::builtin();
+    r.register(Scenario {
+        name: "fig8_squirrel",
+        title: "Squirrel web-cache deployment traffic, simulated",
+        figure: "Fig. 8",
+        points: fig8_points,
+    });
+    r.register(Scenario {
+        name: "exp_replication",
+        title: "KV availability vs leaf-set replication factor",
+        figure: "extension",
+        points: replication_points,
+    });
+    r
 }
 
-/// Reads the scale from `MSPASTRY_SCALE` (`quick`/`full`).
-pub fn scale() -> Scale {
-    match std::env::var("MSPASTRY_SCALE").as_deref() {
-        Ok("full") | Ok("FULL") => Scale::Full,
-        _ => Scale::Quick,
-    }
-}
-
-/// The Gnutella-like trace at the given scale.
-pub fn gnutella_trace(s: Scale) -> Trace {
+/// The Squirrel deployment parameters at a scale (52 machines over six days
+/// in quick mode; the paper-shaped default workload in full mode).
+pub fn fig8_params(s: Scale) -> SquirrelParams {
     match s {
-        Scale::Full => churn::gnutella::trace(&GnutellaParams::default()),
-        Scale::Quick => churn::gnutella::trace(&GnutellaParams {
-            population_scale: 0.1,
-            duration_us: 24 * HOUR,
+        Scale::Full => SquirrelParams::default(),
+        Scale::Quick => SquirrelParams {
+            web: WebWorkloadParams {
+                clients: 52,
+                duration_us: 6 * DAY_US,
+                objects: 8_000,
+                ..Default::default()
+            },
             ..Default::default()
-        }),
+        },
     }
 }
 
-/// The OverNet-like trace at the given scale.
-pub fn overnet_trace(s: Scale) -> Trace {
-    match s {
-        Scale::Full => churn::overnet::trace(&OvernetParams::default()),
-        Scale::Quick => churn::overnet::trace(&OvernetParams {
-            population_scale: 0.4,
-            duration_us: 24 * HOUR,
-            ..Default::default()
-        }),
-    }
+fn fig8_points(s: Scale) -> Vec<ScenarioPoint> {
+    vec![ScenarioPoint::new("squirrel", move |seed| {
+        let mut params = fig8_params(s);
+        params.seed += seed * SEED_TRACE_STRIDE;
+        squirrel::build_run(&params).0
+    })]
 }
 
-/// The Microsoft-corporate-like trace at the given scale.
-pub fn microsoft_trace(s: Scale) -> Trace {
-    match s {
-        Scale::Full => churn::microsoft::trace(&MicrosoftParams::default()),
-        Scale::Quick => churn::microsoft::trace(&MicrosoftParams {
-            population_scale: 0.012,
-            duration_us: 48 * HOUR,
-            ..Default::default()
-        }),
-    }
-}
-
-/// A short Gnutella-like trace for parameter sweeps (many runs).
-pub fn gnutella_sweep_trace(s: Scale, seed: u64) -> Trace {
-    match s {
-        Scale::Full => churn::gnutella::trace(&GnutellaParams {
-            seed: 101 + seed,
-            ..Default::default()
-        }),
-        Scale::Quick => churn::gnutella::trace(&GnutellaParams {
-            population_scale: 0.08,
-            duration_us: 2 * HOUR,
-            seed: 101 + seed,
-        }),
-    }
-}
-
-/// The GATech topology at the given scale.
-pub fn gatech(s: Scale) -> TopologyKind {
-    match s {
-        Scale::Full => TopologyKind::GaTech,
-        Scale::Quick => TopologyKind::GaTechSmall,
-    }
-}
-
-/// The base configuration of §5.1 around a trace.
-///
-/// Quick mode shortens the routing-table maintenance period from the paper's
-/// 20 minutes to 5: PNS converges through maintenance gossip *rounds*, and a
-/// quick trace is ~25x shorter than the paper's 60-hour runs, so the round
-/// count — not the wall-clock period — is what must be preserved.
-pub fn base_config(s: Scale, trace: Trace) -> RunConfig {
+/// Builds the replication experiment: one churny 15-minute-session run with
+/// a scripted PUT/GET workload whose deliveries are post-processed per
+/// replication factor. Returns the run configuration and the op list (needed
+/// for [`kvstore::evaluate_replicated`]).
+pub fn replication_setup(seed: u64) -> (RunConfig, Vec<kvstore::TimedOp>) {
+    let dur = 40 * MIN;
+    let trace = poisson::trace(&PoissonParams {
+        mean_nodes: 120.0,
+        mean_session_us: 15.0 * 60e6,
+        duration_us: dur,
+        seed: 31 + seed * SEED_TRACE_STRIDE,
+    });
+    let n_sessions = trace.sessions().len();
+    // GETs within 5 minutes of their PUT: the window where root changes are
+    // failure-driven (replica takeover) rather than join-driven (which needs
+    // value migration the home-store model does not perform).
+    let ops = kvstore::generate_ops_with_gap(400, 3, n_sessions, dur, Some(5 * MIN), 32);
     let mut cfg = RunConfig::new(trace);
-    cfg.topology = gatech(s);
-    if s == Scale::Quick {
-        cfg.protocol.rt_maintenance_period_us = 5 * MIN;
-    }
-    cfg
+    cfg.topology = TopologyKind::GaTechSmall;
+    cfg.warmup_us = 10 * MIN;
+    cfg.workload = Workload::Scripted(kvstore::to_script(&ops));
+    cfg.record_deliveries = true;
+    cfg.seed += seed * SEED_RUN_STRIDE;
+    (cfg, ops)
+}
+
+fn replication_points(_s: Scale) -> Vec<ScenarioPoint> {
+    vec![ScenarioPoint::new("kv-churn", |seed| {
+        replication_setup(seed).0
+    })]
 }
 
 /// Runs and reports wall-clock time on stderr.
@@ -137,25 +130,33 @@ pub fn sci(x: f64) -> String {
     }
 }
 
+/// File stem for a result artifact: `<name>.<scale>`, so quick and full
+/// runs of the same experiment never clobber each other. Sweep artifacts
+/// additionally tag the seed count (see the `mspastry-sim` CLI).
+pub fn artifact_stem(name: &str, s: Scale) -> String {
+    format!("{name}.{}", s.name())
+}
+
 /// CSV export of experiment results (written under `results/`).
 pub mod csv {
     use std::io::Write;
-    use std::path::Path;
+    use std::path::{Path, PathBuf};
 
-    /// Writes rows to `results/<name>.csv` with the given header. Errors are
-    /// reported on stderr but never abort an experiment.
-    pub fn write(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    /// Writes rows to `results/<stem>.csv` with the given header, creating
+    /// the directory if missing, and returns the written path. Errors are
+    /// reported on stderr but never abort an experiment (`None`).
+    pub fn write(stem: &str, header: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
         let dir = Path::new("results");
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("csv: cannot create {dir:?}: {e}");
-            return;
+            return None;
         }
-        let path = dir.join(format!("{name}.csv"));
+        let path = dir.join(format!("{stem}.csv"));
         let mut out = match std::fs::File::create(&path) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("csv: cannot create {path:?}: {e}");
-                return;
+                return None;
             }
         };
         let mut text = header.join(",");
@@ -166,8 +167,10 @@ pub mod csv {
         }
         if let Err(e) = out.write_all(text.as_bytes()) {
             eprintln!("csv: write to {path:?} failed: {e}");
+            None
         } else {
             eprintln!("csv: wrote {path:?} ({} rows)", rows.len());
+            Some(path)
         }
     }
 }
@@ -177,7 +180,7 @@ pub mod csv {
 /// cells, so downstream tooling never re-parses CSV heuristically.
 pub mod json {
     use obs::JsonWriter;
-    use std::path::Path;
+    use std::path::{Path, PathBuf};
 
     /// Serialises one cell: numbers stay numbers, everything else is a
     /// string. Integer parses are tried first so counts round-trip exactly.
@@ -217,18 +220,26 @@ pub mod json {
         w.finish()
     }
 
-    /// Writes a table to `results/<name>.json`. Errors are reported on
-    /// stderr but never abort an experiment (mirrors [`super::csv::write`]).
-    pub fn write_table(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    /// Writes a table to `results/<stem>.json`, creating the directory if
+    /// missing, and returns the written path. Errors are reported on stderr
+    /// but never abort an experiment (`None`, mirroring
+    /// [`super::csv::write`]).
+    pub fn write_table(stem: &str, header: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
         let dir = Path::new("results");
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("json: cannot create {dir:?}: {e}");
-            return;
+            return None;
         }
-        let path = dir.join(format!("{name}.json"));
-        match std::fs::write(&path, render_table(name, header, rows)) {
-            Ok(()) => eprintln!("json: wrote {path:?} ({} rows)", rows.len()),
-            Err(e) => eprintln!("json: write to {path:?} failed: {e}"),
+        let path = dir.join(format!("{stem}.json"));
+        match std::fs::write(&path, render_table(stem, header, rows)) {
+            Ok(()) => {
+                eprintln!("json: wrote {path:?} ({} rows)", rows.len());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("json: write to {path:?} failed: {e}");
+                None
+            }
         }
     }
 }
@@ -247,21 +258,6 @@ pub fn header(fig: &str, what: &str, s: Scale) {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn default_scale_is_quick() {
-        // The env var is unset in CI.
-        if std::env::var("MSPASTRY_SCALE").is_err() {
-            assert_eq!(scale(), Scale::Quick);
-        }
-    }
-
-    #[test]
-    fn quick_traces_are_small() {
-        let t = gnutella_trace(Scale::Quick);
-        assert!(t.active_at(2 * HOUR) < 400);
-        assert_eq!(t.duration_us(), 24 * HOUR);
-    }
 
     #[test]
     fn sci_formats() {
@@ -283,5 +279,43 @@ mod tests {
              \"columns\":[\"trace\",\"n\",\"rdp\"],\
              \"rows\":[[\"gnutella\",42,1.5]]}"
         );
+    }
+
+    #[test]
+    fn artifact_stems_carry_the_scale() {
+        assert_eq!(artifact_stem("fig6_loss", Scale::Quick), "fig6_loss.quick");
+        assert_eq!(artifact_stem("fig6_loss", Scale::Full), "fig6_loss.full");
+    }
+
+    #[test]
+    fn full_registry_includes_app_scenarios() {
+        let r = scenarios();
+        for name in ["fig8_squirrel", "exp_replication", "fig4_traces", "smoke"] {
+            assert!(r.get(name).is_some(), "missing {name}");
+        }
+        assert_eq!(r.get("fig8_squirrel").unwrap().figure, "Fig. 8");
+    }
+
+    #[test]
+    fn fig8_scenario_matches_build_run() {
+        let pts = scenarios()
+            .get("fig8_squirrel")
+            .unwrap()
+            .expand(Scale::Quick);
+        let from_scenario = (pts[0].build)(0);
+        let (direct, _) = squirrel::build_run(&fig8_params(Scale::Quick));
+        assert_eq!(from_scenario.seed, direct.seed);
+        assert_eq!(from_scenario.trace, direct.trace);
+    }
+
+    #[test]
+    fn replication_setup_is_deterministic_and_seeded() {
+        let (a, ops_a) = replication_setup(0);
+        let (b, _) = replication_setup(0);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.seed, b.seed);
+        assert!(!ops_a.is_empty());
+        let (c, _) = replication_setup(1);
+        assert_ne!(a.trace, c.trace);
     }
 }

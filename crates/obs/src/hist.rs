@@ -165,6 +165,85 @@ impl Histogram {
     }
 }
 
+impl HistSnapshot {
+    /// Nearest-rank `q`-quantile recomputed from the snapshot's buckets,
+    /// clamped to the exact `[min, max]` range (mirrors
+    /// [`Histogram::quantile`]).
+    fn quantile_from_buckets(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min?, self.max?);
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(lb, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return Some(lb.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    /// Folds another snapshot into this one, as if every sample behind both
+    /// had been recorded into a single [`Histogram`]: bucket counts are
+    /// merged by lower bound and the quantiles are recomputed from the
+    /// merged buckets. Used by the sweep executor to aggregate one metric
+    /// across the runs of a multi-seed sweep.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        // Merge-join the two ascending bucket lists.
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(la, ca)), Some(&&(lb, cb))) => {
+                    if la < lb {
+                        merged.push((la, ca));
+                        a.next();
+                    } else if lb < la {
+                        merged.push((lb, cb));
+                        b.next();
+                    } else {
+                        merged.push((la, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, y) => x.or(y),
+        };
+        self.p50 = self.quantile_from_buckets(0.5);
+        self.p90 = self.quantile_from_buckets(0.9);
+        self.p99 = self.quantile_from_buckets(0.99);
+    }
+}
+
 /// An immutable summary of a [`Histogram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSnapshot {
@@ -311,6 +390,36 @@ mod tests {
         let mut e = Histogram::new();
         e.merge(&a);
         assert_eq!(e.snapshot(), before);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..400u64 {
+            if v % 3 == 0 {
+                a.record(v * 17 % 5011);
+            } else {
+                b.record(v * 29 % 7919);
+            }
+        }
+        let mut merged_snap = a.snapshot();
+        merged_snap.merge(&b.snapshot());
+        a.merge(&b);
+        assert_eq!(merged_snap, a.snapshot());
+    }
+
+    #[test]
+    fn snapshot_merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(123);
+        let mut s = h.snapshot();
+        let before = s.clone();
+        s.merge(&Histogram::new().snapshot());
+        assert_eq!(s, before);
+        let mut e = Histogram::new().snapshot();
+        e.merge(&before);
+        assert_eq!(e, before);
     }
 
     #[test]

@@ -144,6 +144,66 @@ impl Snapshot {
             .map(|i| &self.histograms[i].1)
             .ok()
     }
+
+    /// Folds another snapshot into this one: counters are summed by name and
+    /// histograms merged by name ([`HistSnapshot::merge`]); metrics present
+    /// in only one snapshot carry over unchanged. Both name orderings stay
+    /// sorted, so merging is deterministic regardless of which runs of a
+    /// sweep registered which metrics.
+    pub fn merge(&mut self, other: &Snapshot) {
+        let mut counters = Vec::with_capacity(self.counters.len().max(other.counters.len()));
+        let (mut a, mut b) = (
+            self.counters.drain(..).peekable(),
+            other.counters.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((na, _)), Some((nb, _))) => {
+                    if na < nb {
+                        counters.push(a.next().unwrap());
+                    } else if nb < na {
+                        counters.push(b.next().unwrap().clone());
+                    } else {
+                        let (name, va) = a.next().unwrap();
+                        let (_, vb) = b.next().unwrap();
+                        counters.push((name, va + vb));
+                    }
+                }
+                (Some(_), None) => counters.push(a.next().unwrap()),
+                (None, Some(_)) => counters.push(b.next().unwrap().clone()),
+                (None, None) => break,
+            }
+        }
+        drop(a);
+        self.counters = counters;
+
+        let mut hists = Vec::with_capacity(self.histograms.len().max(other.histograms.len()));
+        let (mut a, mut b) = (
+            self.histograms.drain(..).peekable(),
+            other.histograms.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((na, _)), Some((nb, _))) => {
+                    if na < nb {
+                        hists.push(a.next().unwrap());
+                    } else if nb < na {
+                        hists.push(b.next().unwrap().clone());
+                    } else {
+                        let (name, mut ha) = a.next().unwrap();
+                        let (_, hb) = b.next().unwrap();
+                        ha.merge(hb);
+                        hists.push((name, ha));
+                    }
+                }
+                (Some(_), None) => hists.push(a.next().unwrap()),
+                (None, Some(_)) => hists.push(b.next().unwrap().clone()),
+                (None, None) => break,
+            }
+        }
+        drop(a);
+        self.histograms = hists;
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +239,32 @@ mod tests {
         let h = s.histogram("lat").unwrap();
         assert_eq!(h.count, 2);
         assert_eq!(h.min, Some(100));
+    }
+
+    #[test]
+    fn snapshots_merge_by_name() {
+        let a = Registry::new();
+        a.add(a.counter("shared"), 3);
+        a.inc(a.counter("only_a"));
+        a.record(a.histogram("lat"), 10);
+        let b = Registry::new();
+        b.add(b.counter("shared"), 4);
+        b.inc(b.counter("only_b"));
+        b.record(b.histogram("lat"), 30);
+        b.record(b.histogram("hops"), 2);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.counter("shared"), 7);
+        assert_eq!(s.counter("only_a"), 1);
+        assert_eq!(s.counter("only_b"), 1);
+        let lat = s.histogram("lat").unwrap();
+        assert_eq!((lat.count, lat.min, lat.max), (2, Some(10), Some(30)));
+        assert_eq!(s.histogram("hops").unwrap().count, 1);
+        // Name ordering stays sorted (the artifact writer relies on it).
+        let names: Vec<_> = s.counters.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+#![warn(missing_docs)]
+//! The workspace's one parallelism utility: an order-preserving parallel
+//! `map` over an index range on scoped threads.
+//!
+//! Both the topology delay-matrix builder and the experiment sweep executor
+//! fan independent, unevenly-sized tasks across cores. The shape they share:
+//! `n` tasks identified by index, a pure-per-index function, results needed
+//! in index order regardless of completion order. Workers claim indices from
+//! an atomic cursor (dynamic load balancing — one slow Dijkstra source or
+//! one long simulation run does not idle the other workers), and each result
+//! lands in the slot fixed by its input index, so the output is bit-for-bit
+//! independent of the worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers `jobs = 0` resolves to: the host's available
+/// parallelism (1 if it cannot be determined).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n` on up to `jobs` worker threads
+/// (`jobs = 0` means [`available_jobs`]) and returns the results in index
+/// order.
+///
+/// The output is identical for every `jobs` value: scheduling only decides
+/// *which worker* computes an index, never *what* the index computes. With
+/// one effective worker (or `n <= 1`) everything runs inline on the caller's
+/// thread.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+pub fn map<R, F>(jobs: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = if jobs == 0 { available_jobs() } else { jobs };
+    let workers = jobs.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for chunk in &mut per_worker {
+        for (i, r) in chunk.drain(..) {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = map(4, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        assert_eq!(map(0, 5, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(map(8, 0, |_| 0u32), Vec::<u32>::new());
+        assert_eq!(map(8, 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn output_is_independent_of_worker_count() {
+        let expensive = |i: usize| {
+            // Uneven task costs exercise the dynamic cursor.
+            let mut x = i as u64;
+            for _ in 0..(i % 7) * 1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            x
+        };
+        let seq = map(1, 50, expensive);
+        for jobs in [2, 3, 8] {
+            assert_eq!(map(jobs, 50, expensive), seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        map(2, 10, |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -128,40 +128,16 @@ impl Graph {
     }
 
     /// Computes the all-pairs one-way delay matrix eagerly, running the
-    /// per-source Dijkstra passes across all available cores.
-    ///
-    /// The result is identical to a sequential build (each row depends only
-    /// on the graph). For large graphs where the dense matrix itself is the
-    /// problem, use [`DelayMatrix::lazy`] instead.
+    /// per-source Dijkstra passes across all available cores (the shared
+    /// [`pool`] utility; rows land in source order, so the matrix is
+    /// identical to a sequential build). For large graphs where the dense
+    /// matrix itself is the problem, use [`DelayMatrix::lazy`] instead.
     pub fn all_pairs_delay(&self) -> DelayMatrix {
         let n = self.adj.len();
-        let mut data = vec![0u32; n * n];
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
-        if n > 0 && threads > 1 {
-            let rows_per_chunk = n.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (chunk_idx, chunk) in data.chunks_mut(rows_per_chunk * n).enumerate() {
-                    let first_src = chunk_idx * rows_per_chunk;
-                    s.spawn(move || {
-                        for (i, row) in chunk.chunks_mut(n).enumerate() {
-                            let delays = self.shortest_delays_from((first_src + i) as RouterId);
-                            for (dst, d) in delays.iter().enumerate() {
-                                row[dst] = (*d).min(u32::MAX as u64) as u32;
-                            }
-                        }
-                    });
-                }
-            });
-        } else {
-            for src in 0..n {
-                let delays = self.shortest_delays_from(src as RouterId);
-                for (dst, d) in delays.iter().enumerate() {
-                    data[src * n + dst] = (*d).min(u32::MAX as u64) as u32;
-                }
-            }
+        let rows = pool::map(0, n, |src| self.delay_row(src as RouterId));
+        let mut data = Vec::with_capacity(n * n);
+        for row in rows {
+            data.extend_from_slice(&row);
         }
         DelayMatrix {
             n,

@@ -3,37 +3,66 @@
 //! systems) and watch dependability degrade gracefully — the paper's
 //! Figure 5 in miniature.
 //!
+//! Doubles as the smallest complete demo of the scenario engine: a custom
+//! experiment is one `Scenario` declaration — a named list of points, each
+//! a seed-indexed `RunConfig` builder — and `run_sweep` executes the whole
+//! (point × seed) grid across the machine's cores, with means and standard
+//! deviations aggregated per point.
+//!
 //! ```sh
 //! cargo run --release -p harness --example churn_storm
 //! ```
 
 use churn::poisson::{self, PoissonParams};
-use harness::{run, RunConfig};
+use harness::scenario::{Scale, ScenarioPoint, SEED_TRACE_STRIDE};
+use harness::{run_sweep, RunConfig, Scenario, SweepConfig};
 use topology::TopologyKind;
 
+fn storm_points(_s: Scale) -> Vec<ScenarioPoint> {
+    [120u64, 60, 30, 15, 5]
+        .into_iter()
+        .map(|minutes| {
+            ScenarioPoint::new(format!("{minutes}min"), move |seed| {
+                let trace = poisson::trace(&PoissonParams {
+                    mean_nodes: 150.0,
+                    mean_session_us: minutes as f64 * 60e6,
+                    duration_us: 45 * 60 * 1_000_000,
+                    seed: 7 + minutes + seed * SEED_TRACE_STRIDE,
+                });
+                let mut cfg = RunConfig::new(trace);
+                cfg.topology = TopologyKind::GaTechSmall;
+                cfg.seed = minutes + seed;
+                cfg
+            })
+        })
+        .collect()
+}
+
 fn main() {
-    println!("session | active |   loss   | incorrect |  RDP | control msg/s/node");
-    println!("--------+--------+----------+-----------+------+-------------------");
-    for minutes in [120u64, 60, 30, 15, 5] {
-        let trace = poisson::trace(&PoissonParams {
-            mean_nodes: 150.0,
-            mean_session_us: minutes as f64 * 60e6,
-            duration_us: 45 * 60 * 1_000_000,
-            seed: 7 + minutes,
-        });
-        let mut cfg = RunConfig::new(trace);
-        cfg.topology = TopologyKind::GaTechSmall;
-        cfg.seed = minutes;
-        let res = run(cfg);
-        let r = &res.report;
+    let scenario = Scenario {
+        name: "churn_storm",
+        title: "session-time sweep under Poisson churn",
+        figure: "Fig. 5 (miniature)",
+        points: storm_points,
+    };
+    let mut sweep_cfg = SweepConfig::new(Scale::Quick);
+    sweep_cfg.seeds = 2; // two independent trace+run seeds per point
+
+    println!("sweeping 5 churn levels x {} seeds ...", sweep_cfg.seeds);
+    let sweep = run_sweep(&scenario, &sweep_cfg);
+
+    println!();
+    println!("session |   loss   |  RDP (mean±sd) | control msg/s/node");
+    println!("--------+----------+----------------+-------------------");
+    for p in &sweep.points {
+        let get = |name: &str| p.stats.iter().find(|m| m.name == name).unwrap();
         println!(
-            "{:>4}min | {:>6} | {:.2e} | {:>9} | {:.2} | {:.3}",
-            minutes,
-            res.final_active,
-            r.loss_rate,
-            r.incorrect,
-            r.mean_rdp,
-            r.control_msgs_per_node_per_sec
+            "{:>7} | {:.2e} | {:>6.2} ± {:.2}  | {:.3}",
+            p.label,
+            get("loss_rate").mean,
+            get("mean_rdp").mean,
+            get("mean_rdp").stddev,
+            get("control_msgs_per_node_per_sec").mean,
         );
     }
     println!();

@@ -3,11 +3,12 @@
 
 Usage: check_artifact.py RUN_JSON [TRACE_JSONL]
 
-Checks that RUN_JSON is a well-formed `mspastry-run/1` document, that
-TRACE_JSONL parses line by line, and that at least one sampled lookup's
-hop path can be reconstructed end to end (issue -> forwards covering
-1..=hops -> deliver, with non-decreasing timestamps and an armed RTO on
-every forward). Exits non-zero on any violation.
+Checks that RUN_JSON is a well-formed `mspastry-run/1` document (single
+run) or `mspastry-series/2` document (aggregated multi-seed sweep from
+`--scenario`), that TRACE_JSONL parses line by line, and that at least
+one sampled lookup's hop path can be reconstructed end to end (issue ->
+forwards covering 1..=hops -> deliver, with non-decreasing timestamps
+and an armed RTO on every forward). Exits non-zero on any violation.
 """
 
 import json
@@ -20,9 +21,49 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_sweep(path, doc):
+    for member in ("scenario", "figure", "scale", "n_seeds", "points"):
+        if member not in doc:
+            fail(f"missing top-level member {member!r}")
+    n_seeds = doc["n_seeds"]
+    if not isinstance(n_seeds, int) or n_seeds < 1:
+        fail(f"n_seeds must be a positive integer, got {n_seeds!r}")
+    points = doc["points"]
+    if not points:
+        fail("sweep has no points")
+    for p in points:
+        for member in ("label", "n_seeds", "metrics", "diag"):
+            if member not in p:
+                fail(f"point missing {member!r}")
+        if p["n_seeds"] != n_seeds:
+            fail(f"point {p['label']!r}: n_seeds {p['n_seeds']} != top-level {n_seeds}")
+        if not p["metrics"]:
+            fail(f"point {p['label']!r} has no metrics")
+        for name, m in p["metrics"].items():
+            for member in ("mean", "stddev", "values"):
+                if member not in m:
+                    fail(f"metric {name!r} missing {member!r}")
+            if len(m["values"]) != n_seeds:
+                fail(f"metric {name!r}: {len(m['values'])} values for {n_seeds} seeds")
+            mean = sum(m["values"]) / n_seeds
+            if abs(mean - m["mean"]) > 1e-6 * max(1.0, abs(mean)):
+                fail(f"metric {name!r}: mean {m['mean']} does not match values")
+            if m["stddev"] < 0 or (n_seeds == 1 and m["stddev"] != 0):
+                fail(f"metric {name!r}: bad stddev {m['stddev']}")
+        diag = p["diag"]
+        if "counters" not in diag or "histograms" not in diag:
+            fail(f"point {p['label']!r}: diag snapshot missing counters/histograms")
+    print(f"check_artifact: {path}: schema ok, scenario={doc['scenario']!r}, "
+          f"{len(points)} points x {n_seeds} seeds, "
+          f"{len(points[0]['metrics'])} metrics/point")
+
+
 def check_run(path):
     with open(path) as f:
         doc = json.load(f)
+    if doc.get("schema") == "mspastry-series/2":
+        check_sweep(path, doc)
+        return doc
     if doc.get("schema") != "mspastry-run/1":
         fail(f"unexpected schema tag {doc.get('schema')!r}")
     for member in ("run", "report", "diag", "trace"):
