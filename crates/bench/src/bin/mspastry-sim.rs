@@ -10,6 +10,7 @@
 //!   --scenario NAME     run a registered scenario as a sweep
 //!   --seeds N           independent seeds per scenario point       [1]
 //!   --jobs N            worker threads (0 = all cores)             [0]
+//!   --progress          report sweep progress (runs done, ev/s, ETA)
 //!   --json [PATH]       write the sweep artifact (and a CSV next to it)
 //!                       [results/<scenario>.<scale>.s<seeds>.json]
 //!
@@ -33,6 +34,12 @@
 //!   --json PATH         write the run artifact (report + diagnostics) as JSON
 //!   --trace RATE        hop-trace sampling rate in [0, 1]         [0]
 //!   --trace-out PATH    hop-trace JSONL path  [<json path>.trace.jsonl]
+//!   --trace-capacity N  hop-trace ring capacity, events           [65536]
+//!   --timeseries PATH   write per-interval metric deltas (mspastry-ts/1
+//!                       JSONL) to PATH
+//!   --ts-interval SECS  time-series sampling interval, seconds    [60]
+//!   --profile           self-profile the run loop (per-event-kind counts
+//!                       and wall time; adds "prof" to the JSON artifact)
 //! ```
 
 use churn::poisson::PoissonParams;
@@ -80,8 +87,8 @@ fn main() {
         run_scenario(&name, &args);
         return;
     }
-    if flag("--seeds") || flag("--jobs") {
-        die("--seeds/--jobs only apply to scenario sweeps; add --scenario NAME");
+    if flag("--seeds") || flag("--jobs") || flag("--progress") {
+        die("--seeds/--jobs/--progress only apply to scenario sweeps; add --scenario NAME");
     }
 
     let hours = parse_or("--hours", 2.0);
@@ -152,12 +159,27 @@ fn main() {
         })
         .unwrap_or(0.0);
     cfg.trace_sample_rate = trace_rate;
+    cfg.trace_capacity = parse_or("--trace-capacity", 65_536.0) as usize;
     let trace_out = get("--trace-out").or_else(|| {
         (trace_rate > 0.0)
             .then(|| json_path.as_deref().map(|p| format!("{p}.trace.jsonl")))
             .flatten()
     });
+    let ts_path = get("--timeseries");
+    if ts_path.is_some() {
+        let secs = parse_or("--ts-interval", 60.0);
+        if secs <= 0.0 {
+            die(&format!(
+                "bad value for --ts-interval: {secs} (seconds, > 0)"
+            ));
+        }
+        cfg.ts_interval_us = (secs * 1e6) as u64;
+    } else if flag("--ts-interval") {
+        die("--ts-interval only applies with --timeseries PATH");
+    }
+    cfg.profile = flag("--profile");
 
+    let trace_capacity = cfg.trace_capacity;
     eprintln!(
         "simulating {} on {:?} for {hours} h (seed {seed}) ...",
         cfg.trace.name(),
@@ -224,11 +246,50 @@ fn main() {
     if let Some(path) = &trace_out {
         match std::fs::write(path, obs::trace_jsonl(&res.trace_events)) {
             Ok(()) => eprintln!(
-                "wrote {} hop-trace events to {path} ({} overwritten)",
-                res.trace_events.len(),
-                res.trace_overwritten
+                "wrote {} hop-trace events to {path}",
+                res.trace_events.len()
             ),
             Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+    }
+    if res.trace_overwritten > 0 {
+        eprintln!(
+            "warning: hop-trace ring overflowed; {} events were overwritten \
+             (capacity {}). Rerun with a larger --trace-capacity or a lower \
+             --trace rate for a complete trace.",
+            res.trace_overwritten, trace_capacity,
+        );
+    }
+    if let Some(path) = &ts_path {
+        let ts = res
+            .timeseries
+            .as_ref()
+            .expect("--timeseries sets ts_interval_us > 0");
+        match std::fs::write(path, obs::ts_jsonl(ts)) {
+            Ok(()) => eprintln!(
+                "wrote {} time-series windows to {path} ({} dropped)",
+                ts.len(),
+                ts.dropped()
+            ),
+            Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+    }
+    if let Some(p) = &res.prof {
+        eprintln!(
+            "profile: {} events in {:.2}s wall, queue depth mean {:.0} / max {}",
+            p.events,
+            p.wall_us as f64 / 1e6,
+            p.depth_mean,
+            p.depth_max
+        );
+        for k in &p.kinds {
+            eprintln!(
+                "  {:>12}: {:>10} events, {:>8.1} ms, {:>6.0} ns/event",
+                k.name,
+                k.count,
+                k.ns as f64 / 1e6,
+                k.ns as f64 / k.count.max(1) as f64
+            );
         }
     }
 }
@@ -262,6 +323,7 @@ fn run_scenario(name: &str, args: &[String]) {
     let mut cfg = SweepConfig::new(s);
     cfg.seeds = parse_or("--seeds", 1);
     cfg.jobs = parse_or("--jobs", 0) as usize;
+    cfg.progress = args.iter().any(|a| a == "--progress");
 
     eprintln!(
         "sweeping {} ({}): {} points x {} seeds at {} scale ...",

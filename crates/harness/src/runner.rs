@@ -134,6 +134,18 @@ pub struct RunConfig {
     /// Flight-recorder capacity in events; once full, the oldest events are
     /// overwritten (the count of casualties is reported).
     pub trace_capacity: usize,
+    /// Time-series sampling cadence in virtual microseconds (0 disables the
+    /// sampler). Sampling is a pure observer — it reads registry snapshots
+    /// between events and never perturbs the simulation.
+    pub ts_interval_us: u64,
+    /// Maximum time-series windows kept in memory; past it the oldest are
+    /// dropped (and counted), mirroring the flight recorder.
+    pub ts_max_windows: usize,
+    /// Self-profile the run loop: per-event-kind dispatch counts and wall
+    /// time, plus event-queue depth gauges, reported under
+    /// [`RunResult::prof`]. Wall-clock readings are nondeterministic, so the
+    /// profile lives outside the bit-identical artifact guarantee.
+    pub profile: bool,
 }
 
 impl RunConfig {
@@ -157,6 +169,9 @@ impl RunConfig {
             outages: Vec::new(),
             trace_sample_rate: 0.0,
             trace_capacity: 65_536,
+            ts_interval_us: 0,
+            ts_max_windows: 8_192,
+            profile: false,
         }
     }
 }
@@ -199,6 +214,11 @@ pub struct RunResult {
     pub trace_events: Vec<HopEvent>,
     /// Trace events lost to ring-buffer overwrite.
     pub trace_overwritten: u64,
+    /// Per-interval metric deltas (only if `ts_interval_us > 0`); serialise
+    /// with [`obs::ts_jsonl`].
+    pub timeseries: Option<obs::TimeSeries>,
+    /// Run-loop self-profile (only if `profile`).
+    pub prof: Option<obs::ProfReport>,
 }
 
 #[derive(Debug)]
@@ -219,6 +239,11 @@ enum Ev {
     },
     Scripted(usize),
     Outage(bool),
+    /// Close the current time-series window. A pure observer: excluded from
+    /// `sim_events`, and the extra queue entries only consume sequence
+    /// numbers, which preserves the relative order of all other events — the
+    /// simulation (and its artifacts) stay bit-identical with sampling on.
+    TsSample,
     End,
 }
 
@@ -268,6 +293,51 @@ struct World {
     activations: Vec<(usize, u64)>,
     end_us: u64,
     sim_events: u64,
+    timeseries: Option<obs::TimeSeries>,
+}
+
+/// Self-profiling state: the accumulator plus pre-registered kind slots, so
+/// the run loop only indexes on the hot path.
+struct Prof {
+    profiler: obs::Profiler,
+    start: std::time::Instant,
+    msg: obs::prof::KindId,
+    timer: obs::prof::KindId,
+    join: obs::prof::KindId,
+    fail: obs::prof::KindId,
+    next_lookup: obs::prof::KindId,
+    scripted: obs::prof::KindId,
+    outage: obs::prof::KindId,
+}
+
+impl Prof {
+    fn new() -> Self {
+        let mut profiler = obs::Profiler::new();
+        Prof {
+            msg: profiler.kind("msg"),
+            timer: profiler.kind("timer"),
+            join: profiler.kind("join"),
+            fail: profiler.kind("fail"),
+            next_lookup: profiler.kind("next-lookup"),
+            scripted: profiler.kind("scripted"),
+            outage: profiler.kind("outage"),
+            start: std::time::Instant::now(),
+            profiler,
+        }
+    }
+
+    fn kind_of(&self, ev: &Ev) -> Option<obs::prof::KindId> {
+        match ev {
+            Ev::Msg { .. } => Some(self.msg),
+            Ev::Timer { .. } => Some(self.timer),
+            Ev::Join(_) => Some(self.join),
+            Ev::Fail(_) => Some(self.fail),
+            Ev::NextLookup { .. } => Some(self.next_lookup),
+            Ev::Scripted(_) => Some(self.scripted),
+            Ev::Outage(_) => Some(self.outage),
+            Ev::TsSample | Ev::End => None,
+        }
+    }
 }
 
 struct Runner {
@@ -275,6 +345,8 @@ struct Runner {
     /// endpoint id, parallel to the `World`'s per-endpoint tables.
     drivers: Vec<Option<Driver>>,
     world: World,
+    /// Run-loop self-profiling (only if `RunConfig::profile`).
+    prof: Option<Prof>,
 }
 
 /// The simulator's implementation of the protocol [`Host`] surface, scoped
@@ -336,8 +408,11 @@ impl Runner {
             }
             _ => Vec::new(),
         };
+        let timeseries = (cfg.ts_interval_us > 0)
+            .then(|| obs::TimeSeries::new(cfg.ts_interval_us, cfg.ts_max_windows));
         Runner {
             drivers: Vec::new(),
+            prof: cfg.profile.then(Prof::new),
             world: World {
                 net,
                 queue: EventQueue::new(),
@@ -362,6 +437,7 @@ impl Runner {
                 activations: Vec::new(),
                 end_us,
                 sim_events: 0,
+                timeseries,
                 cfg,
             },
         }
@@ -409,13 +485,41 @@ impl Runner {
                 .schedule_at(end + w.cfg.warmup_us, Ev::Outage(false));
         }
         w.queue.schedule_at(w.end_us, Ev::End);
+        // Scheduled after `End`, so at a shared instant the run ends first
+        // and the tail is covered by the final partial-window sample.
+        if let Some(ts) = &w.timeseries {
+            w.queue.schedule_at(ts.interval_us(), Ev::TsSample);
+        }
     }
 
     fn run(mut self) -> RunResult {
         self.schedule_trace();
-        while let Some(ev) = self.world.queue.pop() {
-            self.world.sim_events += 1;
+        loop {
+            let t_pop = self.prof.as_ref().map(|_| std::time::Instant::now());
+            let Some(ev) = self.world.queue.pop() else {
+                break;
+            };
+            if let (Some(p), Some(t0)) = (self.prof.as_mut(), t_pop) {
+                p.profiler.record_pop(t0.elapsed().as_nanos() as u64);
+            }
             let now = ev.at_us;
+            if matches!(ev.payload, Ev::TsSample) {
+                // Pure observer: not a simulation event (excluded from
+                // `sim_events` so artifacts stay bit-identical), and the
+                // registry snapshot mutates nothing.
+                let w = &mut self.world;
+                let snap = w.obs.snapshot();
+                if let Some(ts) = w.timeseries.as_mut() {
+                    ts.sample(now, &snap);
+                    if now < w.end_us {
+                        w.queue.schedule_in(ts.interval_us(), Ev::TsSample);
+                    }
+                }
+                continue;
+            }
+            self.world.sim_events += 1;
+            let kind = self.prof.as_ref().and_then(|p| p.kind_of(&ev.payload));
+            let t0 = kind.map(|_| std::time::Instant::now());
             match ev.payload {
                 Ev::End => break,
                 Ev::Join(i) => self.on_trace_join(now, i),
@@ -429,9 +533,24 @@ impl Runner {
                 Ev::NextLookup { node } => self.on_next_lookup(now, node),
                 Ev::Scripted(i) => self.on_scripted(now, i),
                 Ev::Outage(on) => self.world.net.set_blackout(on),
+                Ev::TsSample => unreachable!("handled above"),
+            }
+            if let (Some(p), Some(kind), Some(t0)) = (self.prof.as_mut(), kind, t0) {
+                p.profiler.record(kind, t0.elapsed().as_nanos() as u64);
+                p.profiler.gauge_depth(self.world.queue.len());
             }
         }
         let mut w = self.world;
+        // Close the tail window: deltas since the last on-cadence sample.
+        if let Some(ts) = w.timeseries.as_mut() {
+            ts.sample(w.queue.now_us(), &w.obs.snapshot());
+        }
+        let prof = self.prof.as_ref().map(|p| {
+            p.profiler.report(
+                p.start.elapsed().as_micros() as u64,
+                w.queue.high_water_mark() as u64,
+            )
+        });
         let final_active = w.active_list.len();
         let mut trt_sum = 0.0;
         let mut trt_n = 0u64;
@@ -464,6 +583,8 @@ impl Runner {
             diag,
             trace_events,
             trace_overwritten,
+            timeseries: w.timeseries.take(),
+            prof,
             trace_name: w.cfg.trace.name().to_string(),
             topology_name: w.net.topology().name(),
             final_active,
@@ -834,6 +955,43 @@ mod tests {
             r.loss_rate
         );
         assert!(res.final_active > 20);
+    }
+
+    #[test]
+    fn timeseries_and_profile_collect_when_enabled() {
+        let mut cfg = quick_config(static_trace(15, 10 * 60 * 1_000_000));
+        cfg.ts_interval_us = 60 * 1_000_000;
+        cfg.profile = true;
+        let res = run(cfg);
+        let ts = res.timeseries.as_ref().expect("sampler ran");
+        // 15 min total run (warmup + trace) at 1-minute cadence, plus the
+        // final partial window.
+        assert!(ts.len() >= 14, "windows {}", ts.len());
+        assert_eq!(ts.dropped(), 0);
+        // Per-window deltas must sum back to the end-of-run totals.
+        for name in ["net.delivered", "net.sent"] {
+            let total: u64 = ts
+                .windows()
+                .flat_map(|w| w.counters.iter())
+                .filter(|(n, _)| n == name)
+                .map(|(_, d)| d)
+                .sum();
+            assert_eq!(total, res.diag.counter(name), "counter {name}");
+        }
+        let prof = res.prof.as_ref().expect("profiler ran");
+        // Every simulation event except the final `End` (which breaks out of
+        // the loop before recording) is profiled; TsSample events are not
+        // simulation events at all.
+        assert_eq!(prof.events, res.sim_events - 1);
+        assert!(prof.kinds.iter().any(|k| k.name == "msg"));
+        assert!(prof.depth_max > 0 && prof.depth_samples > 0);
+    }
+
+    #[test]
+    fn telemetry_is_off_by_default() {
+        let res = run(quick_config(static_trace(5, 5 * 60 * 1_000_000)));
+        assert!(res.timeseries.is_none());
+        assert!(res.prof.is_none());
     }
 
     #[test]

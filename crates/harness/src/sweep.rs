@@ -28,15 +28,19 @@ pub struct SweepConfig {
     pub seeds: u64,
     /// Worker threads; 0 means one per available core.
     pub jobs: usize,
+    /// Report progress on stderr as runs complete (runs done, point,
+    /// aggregate ev/s, ETA) — multi-hour sweeps should not be silent.
+    pub progress: bool,
 }
 
 impl SweepConfig {
-    /// Single-seed, auto-parallel sweep at `scale`.
+    /// Single-seed, auto-parallel, silent sweep at `scale`.
     pub fn new(scale: Scale) -> Self {
         SweepConfig {
             scale,
             seeds: 1,
             jobs: 0,
+            progress: false,
         }
     }
 }
@@ -123,11 +127,35 @@ pub fn run_sweep(scenario: &Scenario, cfg: &SweepConfig) -> SweepResult {
     let points = scenario.expand(cfg.scale);
     let seeds = cfg.seeds.max(1) as usize;
     let grid = points.len() * seeds;
+    // Progress state shared across workers. Only completion counters — the
+    // runs themselves stay independent, so reporting cannot perturb results
+    // (and the artifacts stay byte-identical with it on or off).
+    let done = std::sync::atomic::AtomicU64::new(0);
+    let events = std::sync::atomic::AtomicU64::new(0);
+    let t0 = std::time::Instant::now();
     // Grid index i = point * seeds + seed, so pool::map's order-preserving
     // output is already grouped by point.
     let results = pool::map(cfg.jobs, grid, |i| {
-        let cfg = (points[i / seeds].build)((i % seeds) as u64);
-        run(cfg)
+        let run_cfg = (points[i / seeds].build)((i % seeds) as u64);
+        let res = run(run_cfg);
+        if cfg.progress {
+            use std::sync::atomic::Ordering::Relaxed;
+            let d = done.fetch_add(1, Relaxed) + 1;
+            let ev = events.fetch_add(res.sim_events, Relaxed) + res.sim_events;
+            let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+            let eta = elapsed / d as f64 * (grid as u64 - d) as f64;
+            eprintln!(
+                "[sweep {}] {d}/{grid} runs done (point {}/{} \"{}\"), \
+                 {:.2}M ev/s aggregate, ETA {:.0}s",
+                scenario.name,
+                i / seeds + 1,
+                points.len(),
+                points[i / seeds].label,
+                ev as f64 / elapsed / 1e6,
+                eta,
+            );
+        }
+        res
     });
     let mut results = results.into_iter();
     let summaries = points
@@ -278,9 +306,9 @@ mod tests {
     #[test]
     fn sweep_aggregates_per_point() {
         let cfg = SweepConfig {
-            scale: Scale::Quick,
             seeds: 2,
             jobs: 1,
+            ..SweepConfig::new(Scale::Quick)
         };
         let res = run_sweep(&TINY, &cfg);
         assert_eq!(res.points.len(), 2);
@@ -301,9 +329,9 @@ mod tests {
     #[test]
     fn artifacts_are_independent_of_worker_count() {
         let seq = SweepConfig {
-            scale: Scale::Quick,
             seeds: 2,
             jobs: 1,
+            ..SweepConfig::new(Scale::Quick)
         };
         let par = SweepConfig { jobs: 4, ..seq };
         let a = run_sweep(&TINY, &seq);

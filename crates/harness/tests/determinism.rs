@@ -85,3 +85,53 @@ fn trace_and_artifacts_are_bit_identical_across_runs() {
         "tracing perturbed the simulation"
     );
 }
+
+/// Live telemetry (the interval sampler and the self-profiler) must also be
+/// a pure observer: with `--timeseries` and `--profile` on, the hop trace
+/// and the `mspastry-run/1` artifact — minus the telemetry-only `prof` and
+/// `timeseries` members — are bit-identical to a run without them, and the
+/// time series itself is deterministic across repeated runs.
+#[test]
+fn telemetry_is_a_pure_observer() {
+    let with_telemetry = |seed| {
+        let mut c = cfg(seed);
+        c.trace_sample_rate = 1.0;
+        c.ts_interval_us = MIN;
+        c.profile = true;
+        c
+    };
+    let plain = {
+        let mut c = cfg(9);
+        c.trace_sample_rate = 1.0;
+        run(c)
+    };
+    let telem = run(with_telemetry(9));
+
+    // Strip the telemetry-only members; everything else must match byte for
+    // byte, including the hop-trace stream.
+    let mut stripped = telem.clone();
+    stripped.timeseries = None;
+    stripped.prof = None;
+    assert_eq!(
+        harness::run_json(&stripped),
+        harness::run_json(&plain),
+        "telemetry perturbed the run artifact"
+    );
+    assert_eq!(
+        obs::trace_jsonl(&telem.trace_events),
+        obs::trace_jsonl(&plain.trace_events),
+        "telemetry perturbed the hop trace"
+    );
+    assert_eq!(telem.diag, plain.diag, "telemetry perturbed the registry");
+
+    // The series artifact itself is reproducible.
+    let telem2 = run(with_telemetry(9));
+    let ts = telem.timeseries.as_ref().expect("sampler ran");
+    let ts2 = telem2.timeseries.as_ref().expect("sampler ran");
+    assert!(ts.len() > 10, "series too small to be meaningful");
+    assert_eq!(
+        obs::ts_jsonl(ts),
+        obs::ts_jsonl(ts2),
+        "time-series artifacts diverged"
+    );
+}

@@ -1,0 +1,165 @@
+//! Membership-oracle integration tests: incorrect-delivery detection
+//! against hand-built churn timelines.
+//!
+//! The oracle is the ground truth behind the paper's §5.2 incorrect-delivery
+//! metric: a delivery is correct iff the delivering node is the active node
+//! closest to the key *at the instant of delivery*. These tests replay
+//! explicit join/leave/delivery timelines — no simulator involved — and
+//! check the classification the runner would make at each point.
+
+use harness::Oracle;
+use mspastry::{Id, NodeId};
+
+/// One membership or delivery event on a hand-built timeline.
+enum Ev {
+    Join(NodeId),
+    Leave(NodeId),
+    /// `deliver(key, at_node, expect_correct)`
+    Deliver(NodeId, NodeId, bool),
+}
+use Ev::{Deliver, Join, Leave};
+
+/// Replays the timeline in order, asserting each delivery's classification.
+fn replay(timeline: &[Ev]) {
+    let mut oracle = Oracle::new();
+    for (i, ev) in timeline.iter().enumerate() {
+        match *ev {
+            Join(id) => oracle.insert(id),
+            Leave(id) => oracle.remove(id),
+            Deliver(key, node, expect_correct) => {
+                let correct = oracle.root_of(key) == Some(node);
+                assert_eq!(
+                    correct,
+                    expect_correct,
+                    "step {i}: delivery of {key} at {node} (true root {:?})",
+                    oracle.root_of(key)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn churn_moves_the_root_and_flips_classification() {
+    // Node 100 starts as the root of key 140. A closer node (150) joins and
+    // takes over; deliveries still landing at 100 — e.g. routed through
+    // stale routing state — become incorrect until 150 fails, at which
+    // point 100 is the true root again.
+    replay(&[
+        Join(Id(100)),
+        Join(Id(400)),
+        Deliver(Id(140), Id(100), true),
+        Join(Id(150)),                    // closer to 140 than 100 is
+        Deliver(Id(140), Id(100), false), // stale delivery at the old root
+        Deliver(Id(140), Id(150), true),
+        Leave(Id(150)),                  // the usurper fails
+        Deliver(Id(140), Id(100), true), // responsibility falls back
+    ]);
+}
+
+#[test]
+fn a_failed_root_cannot_deliver_correctly() {
+    // After a node fails, deliveries attributed to it are always incorrect
+    // even if no other node is closer: the root must be *active*.
+    replay(&[
+        Join(Id(1_000)),
+        Join(Id(2_000)),
+        Deliver(Id(1_001), Id(1_000), true),
+        Leave(Id(1_000)),
+        Deliver(Id(1_001), Id(1_000), false), // delivered by a dead node
+        Deliver(Id(1_001), Id(2_000), true),  // the survivor is now root
+    ]);
+}
+
+#[test]
+fn responsibility_wraps_across_the_ring_under_churn() {
+    // Keys near 0 wrap: with members at MAX-5 and 30, key 2 is 7 away from
+    // MAX-5 (counter-clockwise) and 28 away from 30, so the high node owns
+    // it — until it leaves.
+    replay(&[
+        Join(Id(u128::MAX - 5)),
+        Join(Id(30)),
+        Deliver(Id(2), Id(u128::MAX - 5), true),
+        Deliver(Id(2), Id(30), false),
+        Leave(Id(u128::MAX - 5)),
+        Deliver(Id(2), Id(30), true),
+    ]);
+}
+
+#[test]
+fn equidistant_keys_tie_towards_the_smaller_id() {
+    // Key 125 is exactly 25 from both 100 and 150; the protocol breaks the
+    // tie towards the numerically smaller identifier, and the oracle must
+    // agree or correct deliveries would be misclassified.
+    replay(&[
+        Join(Id(100)),
+        Join(Id(150)),
+        Deliver(Id(125), Id(100), true),
+        Deliver(Id(125), Id(150), false),
+        Leave(Id(100)),
+        Deliver(Id(125), Id(150), true),
+    ]);
+}
+
+#[test]
+fn rejoining_node_resumes_responsibility() {
+    // A node that leaves and later rejoins (same identifier, new session)
+    // must immediately count as the root again — the oracle tracks the
+    // *current* membership, not session history.
+    replay(&[
+        Join(Id(500)),
+        Join(Id(900)),
+        Deliver(Id(510), Id(500), true),
+        Leave(Id(500)),
+        Deliver(Id(510), Id(900), true),
+        Join(Id(500)), // rejoin
+        Deliver(Id(510), Id(500), true),
+        Deliver(Id(510), Id(900), false),
+    ]);
+}
+
+#[test]
+fn random_churn_matches_brute_force_classification() {
+    // Drive the oracle through 2000 random join/leave/deliver steps and
+    // cross-check every delivery classification against a brute-force scan
+    // of the live membership list.
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut oracle = Oracle::new();
+    let mut live: Vec<Id> = Vec::new();
+    let mut deliveries = 0;
+    for step in 0..2000 {
+        match rng.gen_range(0..3) {
+            0 => {
+                let id = Id::random(&mut rng);
+                oracle.insert(id);
+                live.push(id);
+            }
+            1 if !live.is_empty() => {
+                let id = live.swap_remove(rng.gen_range(0..live.len()));
+                oracle.remove(id);
+            }
+            _ if !live.is_empty() => {
+                let key = Id::random(&mut rng);
+                // The node the overlay "delivered at": usually the true
+                // root, sometimes a random live node (stale routing).
+                let node = live[rng.gen_range(0..live.len())];
+                let brute = live
+                    .iter()
+                    .copied()
+                    .reduce(|a, b| mspastry::id::closer_to(key, a, b));
+                let correct = oracle.root_of(key) == Some(node);
+                assert_eq!(
+                    correct,
+                    brute == Some(node),
+                    "step {step}: oracle and brute force disagree on {key}"
+                );
+                deliveries += 1;
+            }
+            _ => {}
+        }
+        assert_eq!(oracle.len(), live.len(), "step {step}: membership drift");
+    }
+    assert!(deliveries > 300, "workload actually exercised deliveries");
+}

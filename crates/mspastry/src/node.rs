@@ -160,6 +160,12 @@ impl Node {
         self.maintenance.t_rt_us
     }
 
+    /// Number of peers currently suspected faulty (probed, reply still
+    /// outstanding) — a liveness diagnostic for health endpoints.
+    pub fn suspected_count(&self) -> usize {
+        self.reliability.suspected.len()
+    }
+
     /// Handles one event at time `now_us`, appending outputs to `fx`.
     pub fn handle(&mut self, now_us: u64, event: Event, fx: &mut Effects) {
         self.ctx.now_us = now_us;

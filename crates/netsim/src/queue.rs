@@ -73,6 +73,9 @@ pub struct EventQueue<T> {
     overflow: BinaryHeap<Scheduled<T>>,
     seq: u64,
     now_us: u64,
+    /// Deepest the queue has ever been (a self-profiling gauge; two adds and
+    /// a compare per schedule, nothing the hot path notices).
+    high_water: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -92,6 +95,7 @@ impl<T> EventQueue<T> {
             overflow: BinaryHeap::new(),
             seq: 0,
             now_us: 0,
+            high_water: 0,
         }
     }
 
@@ -109,6 +113,12 @@ impl<T> EventQueue<T> {
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Deepest the queue has ever been over its lifetime (a self-profiling
+    /// gauge, surfaced in the run artifact's `"prof"` member).
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
     }
 
     /// Schedules `payload` at absolute time `at_us`.
@@ -136,6 +146,10 @@ impl<T> EventQueue<T> {
             self.wheel_len += 1;
         } else {
             self.overflow.push(ev);
+        }
+        let len = self.cur.len() + self.wheel_len + self.overflow.len();
+        if len > self.high_water {
+            self.high_water = len;
         }
     }
 
@@ -274,6 +288,21 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water_mark(), 0);
+        q.schedule_at(10, ());
+        q.schedule_at(20, ());
+        q.schedule_at(30, ());
+        q.pop();
+        q.pop();
+        q.schedule_at(40, ());
+        // Peak was 3; the later schedule only brought it back to 2.
+        assert_eq!(q.high_water_mark(), 3);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

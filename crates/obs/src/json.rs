@@ -271,6 +271,74 @@ mod tests {
     }
 
     #[test]
+    fn float_tokens_round_trip_bit_exactly() {
+        // Every finite float must parse back to the identical bit pattern:
+        // artifacts are diffed and re-read by tools, so lossy formatting
+        // would silently corrupt metrics.
+        let cases = [
+            0.0,
+            -0.0,
+            0.1,
+            0.1 + 0.2,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            1e-308, // subnormal territory
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            f64::MAX,
+            1e15,                // first magnitude past the {v:.1} fast path
+            1e15 - 1.0,          // last magnitude inside it
+            (1u64 << 53) as f64, // integer precision edge
+            -1234.5678e-9,
+            2.225_073_858_507_201e-308, // historical strtod stress value
+        ];
+        for v in cases {
+            let mut w = JsonWriter::new();
+            w.f64(v);
+            let token = w.finish();
+            let back: f64 = token
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable: {token}"));
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:e} -> {token} -> {back:e}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_everywhere() {
+        for v in [f64::NAN, -f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut w = JsonWriter::new();
+            w.begin_object().field_f64("v", v).end_object();
+            assert_eq!(w.finish(), r#"{"v":null}"#, "{v} must serialise as null");
+        }
+    }
+
+    #[test]
+    fn float_tokens_use_no_locale_dependent_characters() {
+        // RFC 8259 numbers use '.' as the only decimal separator and no
+        // grouping. Rust's formatter is locale-independent by contract; pin
+        // that the emitted alphabet stays inside the JSON number grammar so
+        // a regression (e.g. a future switch to a locale-aware formatter)
+        // fails loudly rather than producing "3,14".
+        let cases = [0.5, -1234567.89, 1e300, 0.12345, 1e15 + 7.0, 42.0];
+        for v in cases {
+            let mut w = JsonWriter::new();
+            w.f64(v);
+            let token = w.finish();
+            assert!(
+                token
+                    .bytes()
+                    .all(|b| b.is_ascii_digit() || b"+-.eE".contains(&b)),
+                "{v}: token {token:?} has characters outside the JSON number grammar"
+            );
+            assert!(!token.contains(','), "{v}: grouping separator in {token:?}");
+            assert!(
+                token.matches('.').count() <= 1,
+                "one decimal point in {token:?}"
+            );
+        }
+    }
+
+    #[test]
     fn negative_and_large_integers() {
         let mut w = JsonWriter::new();
         w.begin_array().i64(-5).u64(u64::MAX).end_array();

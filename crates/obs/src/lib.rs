@@ -15,19 +15,28 @@
 //! * a hand-rolled [`json`] writer for machine-readable artifacts (the
 //!   build environment is offline; no serde).
 //!
+//! Two live-telemetry layers sit on top: [`timeseries`] samples per-interval
+//! metric *deltas* on a clock-driven cadence (the `mspastry-ts/1` artifact),
+//! and [`prof`] accumulates the simulator's own per-event-kind dispatch
+//! counts and wall time (the run artifact's `"prof"` member).
+//!
 //! A disabled handle ([`Obs::disabled`]) is a `None` — every operation is a
 //! single branch, so instrumented code costs nothing in protocol unit tests
 //! and library embeddings.
 
 pub mod hist;
 pub mod json;
+pub mod prof;
 pub mod recorder;
 pub mod registry;
+pub mod timeseries;
 
 pub use hist::{HistSnapshot, Histogram};
 pub use json::JsonWriter;
+pub use prof::{prof_json, KindStat, ProfReport, Profiler};
 pub use recorder::{FlightRecorder, HopEvent, HopKind, NO_PEER};
 pub use registry::{CounterId, HistId, Registry, Snapshot};
+pub use timeseries::{ts_jsonl, TimeSeries, TsWindow, TS_SCHEMA};
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -1,0 +1,225 @@
+//! Simulator self-profiling: where does wall time go at paper scale?
+//!
+//! A [`Profiler`] accumulates, per event *kind* (message delivery, protocol
+//! timer, churn join/fail, workload tick, …), how many events were
+//! dispatched and how much wall time their handlers consumed, plus gauges of
+//! the event-queue depth over the run. The simulator is virtual-time
+//! single-threaded, so the profiler is plain owned state — no atomics, no
+//! sampling tricks; the runner wraps each dispatch in two `Instant` reads
+//! only when profiling was requested, keeping the default path free.
+//!
+//! Wall-clock durations are inherently nondeterministic, which is why the
+//! profile lives in its own `"prof"` artifact member: the determinism
+//! guarantee (bit-identical run artifacts) covers everything *except* this
+//! block, and the harness determinism test compares artifacts with it
+//! stripped.
+
+use crate::json::JsonWriter;
+
+/// Handle to a registered event-kind slot (an index; cheap to copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindId(u32);
+
+#[derive(Debug, Clone, Default)]
+struct KindSlot {
+    name: &'static str,
+    count: u64,
+    ns: u64,
+}
+
+/// Accumulates per-event-kind dispatch counts and wall time, plus queue
+/// depth gauges. Owned by the run loop; see the module docs.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    kinds: Vec<KindSlot>,
+    pop_ns: u64,
+    depth_sum: u64,
+    depth_max: u64,
+    depth_samples: u64,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an event-kind slot. Call once per kind at setup; the hot
+    /// path only indexes.
+    pub fn kind(&mut self, name: &'static str) -> KindId {
+        if let Some(i) = self.kinds.iter().position(|k| k.name == name) {
+            return KindId(i as u32);
+        }
+        let id = KindId(self.kinds.len() as u32);
+        self.kinds.push(KindSlot {
+            name,
+            count: 0,
+            ns: 0,
+        });
+        id
+    }
+
+    /// Records one dispatched event of `id` that took `ns` nanoseconds.
+    #[inline]
+    pub fn record(&mut self, id: KindId, ns: u64) {
+        let k = &mut self.kinds[id.0 as usize];
+        k.count += 1;
+        k.ns += ns;
+    }
+
+    /// Adds `ns` nanoseconds of event-queue pop/schedule overhead (time the
+    /// run loop spent outside any handler).
+    #[inline]
+    pub fn record_pop(&mut self, ns: u64) {
+        self.pop_ns += ns;
+    }
+
+    /// Gauges the event-queue depth observed after a dispatch.
+    #[inline]
+    pub fn gauge_depth(&mut self, depth: usize) {
+        let d = depth as u64;
+        self.depth_sum += d;
+        self.depth_max = self.depth_max.max(d);
+        self.depth_samples += 1;
+    }
+
+    /// Freezes the profile. `wall_us` is the run's total wall time and
+    /// `queue_high_water` the deepest the event queue ever got (both owned
+    /// by the run loop, not the profiler).
+    pub fn report(&self, wall_us: u64, queue_high_water: u64) -> ProfReport {
+        let mut kinds: Vec<KindStat> = self
+            .kinds
+            .iter()
+            .filter(|k| k.count > 0)
+            .map(|k| KindStat {
+                name: k.name.to_string(),
+                count: k.count,
+                ns: k.ns,
+            })
+            .collect();
+        kinds.sort_by(|a, b| a.name.cmp(&b.name));
+        ProfReport {
+            wall_us,
+            events: kinds.iter().map(|k| k.count).sum(),
+            kinds,
+            pop_ns: self.pop_ns,
+            depth_mean: if self.depth_samples > 0 {
+                self.depth_sum as f64 / self.depth_samples as f64
+            } else {
+                0.0
+            },
+            depth_max: self.depth_max.max(queue_high_water),
+            depth_samples: self.depth_samples,
+        }
+    }
+}
+
+/// Dispatch count and handler wall time of one event kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindStat {
+    /// Event-kind name (e.g. `"msg"`, `"timer"`).
+    pub name: String,
+    /// Events dispatched.
+    pub count: u64,
+    /// Total handler wall time, nanoseconds.
+    pub ns: u64,
+}
+
+/// A frozen self-profile of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfReport {
+    /// Total run wall time, microseconds.
+    pub wall_us: u64,
+    /// Total events dispatched (sum over kinds).
+    pub events: u64,
+    /// Per-kind stats, name-sorted; kinds that never fired are omitted.
+    pub kinds: Vec<KindStat>,
+    /// Event-queue pop/schedule overhead, nanoseconds.
+    pub pop_ns: u64,
+    /// Mean event-queue depth over the run.
+    pub depth_mean: f64,
+    /// Deepest the event queue ever got.
+    pub depth_max: u64,
+    /// Number of depth gauge samples.
+    pub depth_samples: u64,
+}
+
+/// Serialises a [`ProfReport`] as one JSON object value (the run artifact's
+/// `"prof"` member).
+pub fn prof_json(w: &mut JsonWriter, p: &ProfReport) {
+    w.begin_object();
+    w.field_u64("wall_us", p.wall_us)
+        .field_u64("events", p.events)
+        .field_u64("pop_ns", p.pop_ns);
+    w.key("queue")
+        .begin_object()
+        .field_f64("depth_mean", p.depth_mean)
+        .field_u64("depth_max", p.depth_max)
+        .field_u64("depth_samples", p.depth_samples)
+        .end_object();
+    w.key("kinds").begin_object();
+    for k in &p.kinds {
+        w.key(&k.name)
+            .begin_object()
+            .field_u64("count", k.count)
+            .field_u64("ns", k.ns)
+            .end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_kind() {
+        let mut p = Profiler::new();
+        let msg = p.kind("msg");
+        let timer = p.kind("timer");
+        p.kind("never");
+        assert_eq!(p.kind("msg"), msg); // idempotent registration
+        p.record(msg, 100);
+        p.record(msg, 50);
+        p.record(timer, 7);
+        p.record_pop(3);
+        p.gauge_depth(10);
+        p.gauge_depth(4);
+        let r = p.report(1_000, 12);
+        assert_eq!(r.events, 3);
+        assert_eq!(r.wall_us, 1_000);
+        assert_eq!(r.pop_ns, 3);
+        // Name-sorted, silent kinds omitted.
+        let names: Vec<&str> = r.kinds.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, vec!["msg", "timer"]);
+        assert_eq!((r.kinds[0].count, r.kinds[0].ns), (2, 150));
+        assert_eq!(r.depth_mean, 7.0);
+        assert_eq!(r.depth_max, 12); // high-water beats gauged max
+        assert_eq!(r.depth_samples, 2);
+    }
+
+    #[test]
+    fn empty_profiler_reports_zeroes() {
+        let r = Profiler::new().report(0, 0);
+        assert_eq!(r.events, 0);
+        assert!(r.kinds.is_empty());
+        assert_eq!(r.depth_mean, 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut p = Profiler::new();
+        let m = p.kind("msg");
+        p.record(m, 250);
+        p.gauge_depth(2);
+        let mut w = JsonWriter::new();
+        prof_json(&mut w, &p.report(9, 5));
+        assert_eq!(
+            w.finish(),
+            "{\"wall_us\":9,\"events\":1,\"pop_ns\":0,\
+             \"queue\":{\"depth_mean\":2.0,\"depth_max\":5,\"depth_samples\":1},\
+             \"kinds\":{\"msg\":{\"count\":1,\"ns\":250}}}"
+        );
+    }
+}

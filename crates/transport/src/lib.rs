@@ -34,8 +34,10 @@
 //! ```
 
 pub mod envelope;
+pub mod metrics;
 
 pub use envelope::Envelope;
+pub use metrics::{Health, MetricsServer, Published};
 
 use mspastry::{
     Clock, Config, Driver, DropReason, Event, Host, Key, LookupId, Message, Node, NodeId, Payload,
@@ -47,7 +49,7 @@ use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -67,6 +69,26 @@ enum Cmd {
     Shutdown,
 }
 
+/// Live-telemetry options for a UDP node. The default (both fields `None`)
+/// disables telemetry entirely: the node runs with a disabled observability
+/// handle, exactly as before.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Telemetry {
+    /// Serve `GET /metrics` (Prometheus exposition format) and
+    /// `GET /healthz` (JSON) on this address; use port 0 for an ephemeral
+    /// port (read it back with [`UdpNode::metrics_addr`]).
+    pub metrics_addr: Option<SocketAddr>,
+    /// Print a one-line stat heartbeat on stderr at this cadence.
+    pub stat_interval: Option<Duration>,
+}
+
+impl Telemetry {
+    /// `true` if any telemetry output is requested.
+    fn enabled(&self) -> bool {
+        self.metrics_addr.is_some() || self.stat_interval.is_some()
+    }
+}
+
 /// A running MSPastry node bound to a UDP socket.
 ///
 /// Dropping the handle shuts the node down.
@@ -77,11 +99,12 @@ pub struct UdpNode {
     cmd_tx: Sender<Cmd>,
     deliveries: Receiver<Delivery>,
     active: Arc<AtomicBool>,
+    metrics: Option<MetricsServer>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl UdpNode {
-    /// Binds a UDP socket and spawns the node's event loop.
+    /// Binds a UDP socket and spawns the node's event loop, telemetry off.
     ///
     /// `seed` is an existing overlay node (identifier + address); `None`
     /// bootstraps a new overlay.
@@ -95,6 +118,26 @@ impl UdpNode {
         bind: A,
         seed: Option<(NodeId, SocketAddr)>,
     ) -> io::Result<UdpNode> {
+        Self::spawn_with(id, cfg, bind, seed, Telemetry::default())
+    }
+
+    /// [`Self::spawn`] with live telemetry: an optional `/metrics` +
+    /// `/healthz` HTTP endpoint and an optional stderr stat heartbeat.
+    ///
+    /// Telemetry is an observer: the node's protocol behaviour is identical
+    /// with it on or off; the exporter thread only ever reads snapshots the
+    /// event loop publishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket or metrics-listener bind error.
+    pub fn spawn_with<A: ToSocketAddrs>(
+        id: NodeId,
+        cfg: Config,
+        bind: A,
+        seed: Option<(NodeId, SocketAddr)>,
+        telemetry: Telemetry,
+    ) -> io::Result<UdpNode> {
         let socket = UdpSocket::bind(bind)?;
         socket.set_read_timeout(Some(Duration::from_millis(2)))?;
         let local_addr = socket.local_addr()?;
@@ -102,14 +145,32 @@ impl UdpNode {
         let (delivery_tx, deliveries) = channel();
         let active = Arc::new(AtomicBool::new(false));
         let active2 = active.clone();
+        let shared: metrics::Shared = Arc::new(Mutex::new(None));
+        let metrics_server = match telemetry.metrics_addr {
+            Some(addr) => Some(MetricsServer::start(addr, shared.clone())?),
+            None => None,
+        };
+        let telemetry_on = telemetry.enabled();
+        let stat_interval = telemetry.stat_interval;
         let thread = std::thread::Builder::new()
             .name(format!("mspastry-{id}"))
             .spawn(move || {
+                // The obs handle is Rc-based (the protocol core is
+                // single-threaded by design), so it is created inside the
+                // node's own thread; only published `Snapshot` clones cross
+                // to the exporter.
+                let obs = if telemetry_on {
+                    obs::Obs::new(0.0, 1, false)
+                } else {
+                    obs::Obs::disabled()
+                };
+                let telem = telemetry_on.then(|| Telem::new(shared, stat_interval));
                 EventLoop {
-                    driver: Driver::new(Node::new(id, cfg)),
+                    driver: Driver::new(Node::with_obs(id, cfg, obs.clone())),
                     clock: WallClock::new(),
                     cmd_rx,
                     buf: vec![0u8; 64 * 1024],
+                    telem,
                     io: Io {
                         id,
                         socket,
@@ -118,6 +179,12 @@ impl UdpNode {
                         addrs: HashMap::new(),
                         delivery_tx,
                         active: active2,
+                        c_tx: obs.counter("udp.datagrams_tx"),
+                        c_bytes_tx: obs.counter("udp.bytes_tx"),
+                        c_rx: obs.counter("udp.datagrams_rx"),
+                        c_bytes_rx: obs.counter("udp.bytes_rx"),
+                        c_decode_errors: obs.counter("udp.decode_errors"),
+                        obs,
                     },
                 }
                 .run(seed)
@@ -128,8 +195,15 @@ impl UdpNode {
             cmd_tx,
             deliveries,
             active,
+            metrics: metrics_server,
             thread: Some(thread),
         })
+    }
+
+    /// The bound `/metrics` listener address (`None` when telemetry is off);
+    /// with port 0 this is where the ephemeral port shows up.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.local_addr())
     }
 
     /// The node's identifier.
@@ -199,6 +273,14 @@ struct Io {
     addrs: HashMap<u128, SocketAddr>,
     delivery_tx: Sender<Delivery>,
     active: Arc<AtomicBool>,
+    /// Shared with the protocol node; disabled (a single branch per op)
+    /// unless telemetry was requested.
+    obs: obs::Obs,
+    c_tx: obs::CounterId,
+    c_bytes_tx: obs::CounterId,
+    c_rx: obs::CounterId,
+    c_bytes_rx: obs::CounterId,
+    c_decode_errors: obs::CounterId,
 }
 
 /// The UDP deployment's implementation of the protocol [`Host`] surface,
@@ -223,7 +305,10 @@ impl Host for UdpHost<'_> {
             hints,
             msg,
         };
-        let _ = self.io.socket.send_to(&env.encode(), addr);
+        let bytes = env.encode();
+        self.io.obs.inc(self.io.c_tx);
+        self.io.obs.add(self.io.c_bytes_tx, bytes.len() as u64);
+        let _ = self.io.socket.send_to(&bytes, addr);
     }
 
     fn set_timer(&mut self, delay_us: u64, kind: TimerKind) {
@@ -248,11 +333,40 @@ impl Host for UdpHost<'_> {
     fn lookup_dropped(&mut self, _id: LookupId, _reason: DropReason) {}
 }
 
+/// How often the event loop refreshes the exporter's published slot.
+const PUBLISH_PERIOD: Duration = Duration::from_millis(250);
+
+/// Per-loop telemetry state (publish cadence, heartbeat cadence, liveness
+/// timestamps). Only present when telemetry was requested.
+struct Telem {
+    shared: metrics::Shared,
+    stat_interval: Option<Duration>,
+    start: Instant,
+    last_publish: Instant,
+    last_stat: Instant,
+    last_rx: Option<Instant>,
+}
+
+impl Telem {
+    fn new(shared: metrics::Shared, stat_interval: Option<Duration>) -> Self {
+        let now = Instant::now();
+        Telem {
+            shared,
+            stat_interval,
+            start: now,
+            last_publish: now,
+            last_stat: now,
+            last_rx: None,
+        }
+    }
+}
+
 struct EventLoop {
     driver: Driver,
     clock: WallClock,
     cmd_rx: Receiver<Cmd>,
     buf: Vec<u8>,
+    telem: Option<Telem>,
     io: Io,
 }
 
@@ -299,6 +413,11 @@ impl EventLoop {
             match self.io.socket.recv_from(&mut self.buf) {
                 Ok((n, from_addr)) => {
                     let bytes = self.buf[..n].to_vec();
+                    self.io.obs.inc(self.io.c_rx);
+                    self.io.obs.add(self.io.c_bytes_rx, n as u64);
+                    if let Some(t) = self.telem.as_mut() {
+                        t.last_rx = Some(Instant::now());
+                    }
                     if let Ok(env) = Envelope::decode(&bytes) {
                         self.io.addrs.insert(env.sender.0, from_addr);
                         for (id, addr) in &env.hints {
@@ -308,12 +427,67 @@ impl EventLoop {
                             from: env.sender,
                             msg: env.msg,
                         });
+                    } else {
+                        self.io.obs.inc(self.io.c_decode_errors);
                     }
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut => {}
                 Err(_) => {}
+            }
+            self.telemetry_tick();
+        }
+    }
+
+    /// Publishes a fresh snapshot for the exporter and emits the stderr
+    /// heartbeat when due. Pure observation: reads the node, never steps it.
+    fn telemetry_tick(&mut self) {
+        let Some(t) = self.telem.as_mut() else {
+            return;
+        };
+        let health = || {
+            let node = self.driver.node();
+            let ls = node.leaf_set();
+            metrics::Health {
+                active: node.is_active(),
+                leaf_set_members: ls.members().len(),
+                leaf_set_capacity: 2 * ls.half(),
+                leaf_set_complete: ls.is_complete(),
+                suspected: node.suspected_count(),
+                last_rx_age_us: t.last_rx.map(|at| at.elapsed().as_micros() as u64),
+                uptime_us: t.start.elapsed().as_micros() as u64,
+            }
+        };
+        if t.last_publish.elapsed() >= PUBLISH_PERIOD {
+            t.last_publish = Instant::now();
+            let published = metrics::Published {
+                snapshot: self.io.obs.snapshot(),
+                health: health(),
+            };
+            *t.shared.lock().unwrap_or_else(|e| e.into_inner()) = Some(published);
+        }
+        if let Some(interval) = t.stat_interval {
+            if t.last_stat.elapsed() >= interval {
+                t.last_stat = Instant::now();
+                let h = health();
+                let s = self.io.obs.snapshot();
+                eprintln!(
+                    "[mspastry {}] up {:.0}s active={} leaf={}/{} suspect={} \
+                     rx={} tx={} last_rx={}",
+                    self.io.id,
+                    h.uptime_us as f64 / 1e6,
+                    h.active,
+                    h.leaf_set_members,
+                    h.leaf_set_capacity,
+                    h.suspected,
+                    s.counter("udp.datagrams_rx"),
+                    s.counter("udp.datagrams_tx"),
+                    match h.last_rx_age_us {
+                        Some(age) => format!("{:.1}s ago", age as f64 / 1e6),
+                        None => "never".to_string(),
+                    },
+                );
             }
         }
     }

@@ -7,8 +7,10 @@
 use mspastry::Id;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
-use transport::{lan_config, UdpNode};
+use transport::{lan_config, Telemetry, UdpNode};
 
 /// Polls every node's delivery channel until `expected` lookups arrive (each
 /// must surface at the node whose id equals the key) or the deadline passes.
@@ -60,6 +62,105 @@ fn three_node_overlay_joins_and_routes_within_bound() {
     for node in nodes {
         node.shutdown();
     }
+}
+
+/// One blocking HTTP GET against the metrics listener; returns
+/// (status-line, headers, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+#[test]
+fn metrics_endpoint_serves_wellformed_exposition_and_healthz() {
+    // Two-node overlay with telemetry on: joining generates real UDP
+    // traffic, so the scraped counters are non-trivially populated.
+    let telemetry = Telemetry {
+        metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+        stat_interval: None,
+    };
+    let ids = [Id(5 << 100), Id(400 << 100)];
+    let boot = UdpNode::spawn_with(ids[0], lan_config(), "127.0.0.1:0", None, telemetry).unwrap();
+    let contact = (boot.id(), boot.local_addr());
+    let joiner = UdpNode::spawn_with(
+        ids[1],
+        lan_config(),
+        "127.0.0.1:0",
+        Some(contact),
+        telemetry,
+    )
+    .unwrap();
+    assert!(joiner.wait_active(Duration::from_secs(20)), "joiner active");
+    let addr = boot.metrics_addr().expect("telemetry on => metrics addr");
+
+    // The first snapshot is published up to one publish period after spawn;
+    // poll until the listener stops answering 503.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let body = loop {
+        let (status, headers, body) = http_get(addr, "/metrics");
+        if status.contains("200") {
+            assert!(
+                headers.contains("text/plain; version=0.0.4"),
+                "exposition content type, got: {headers}"
+            );
+            break body;
+        }
+        assert!(status.contains("503"), "only 503 before first publish");
+        assert!(Instant::now() < deadline, "no snapshot published in time");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    // Well-formedness: every non-comment line is `name[{labels}] value` with
+    // a parseable f64 value and a `mspastry_`-prefixed metric name.
+    let mut samples = 0;
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            name.starts_with("mspastry_")
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in line: {line}"
+        );
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("bad value in line: {line}"));
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition has at least one sample");
+    assert!(
+        body.contains("mspastry_udp_datagrams_rx_total"),
+        "io counters exported"
+    );
+    assert!(body.contains("mspastry_active 1"), "health gauges exported");
+
+    // /healthz answers JSON with the same liveness view.
+    let (status, headers, health) = http_get(addr, "/healthz");
+    assert!(status.contains("200"), "healthz ok, got: {status}");
+    assert!(headers.contains("application/json"), "json content type");
+    assert!(
+        health.contains("\"active\":true"),
+        "bootstrap is active: {health}"
+    );
+
+    // Unknown paths 404 instead of wedging the listener.
+    let (status, _, _) = http_get(addr, "/nope");
+    assert!(status.contains("404"), "unknown path 404s, got: {status}");
+
+    joiner.shutdown();
+    boot.shutdown();
 }
 
 #[test]

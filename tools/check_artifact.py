@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Validate mspastry-sim run artifacts.
 
-Usage: check_artifact.py RUN_JSON [TRACE_JSONL]
+Usage: check_artifact.py RUN_JSON [TRACE_JSONL] [--timeseries TS_JSONL]
 
 Checks that RUN_JSON is a well-formed `mspastry-run/1` document (single
 run) or `mspastry-series/2` document (aggregated multi-seed sweep from
 `--scenario`), that TRACE_JSONL parses line by line, and that at least
 one sampled lookup's hop path can be reconstructed end to end (issue ->
 forwards covering 1..=hops -> deliver, with non-decreasing timestamps
-and an armed RTO on every forward). Exits non-zero on any violation.
+and an armed RTO on every forward). With --timeseries, also checks the
+`mspastry-ts/1` JSONL written by `--timeseries`: header consistent with
+the run artifact's summary, contiguous non-overlapping windows, delta
+counters strictly positive, and histogram deltas carrying both count
+and sum. If the run artifact has a `prof` member (from `--profile`),
+its internal invariants are checked too. Exits non-zero on any
+violation.
 """
 
 import json
@@ -84,10 +90,84 @@ def check_run(path):
     h = diag["histograms"]["lookup.latency_us"]
     if h["count"] != sum(c for _, c in h["buckets"]):
         fail("histogram bucket counts do not sum to count")
+    if "prof" in doc:
+        check_prof(doc["prof"])
     print(f"check_artifact: {path}: schema ok, issued={report['issued']}, "
           f"delivered={report['delivered']}, counters={len(diag['counters'])}, "
           f"histograms={len(diag['histograms'])}")
     return doc
+
+
+def check_prof(prof):
+    for key in ("wall_us", "events", "pop_ns", "queue", "kinds"):
+        if key not in prof:
+            fail(f"prof missing {key!r}")
+    for key in ("depth_mean", "depth_max", "depth_samples"):
+        if key not in prof["queue"]:
+            fail(f"prof.queue missing {key!r}")
+    if prof["events"] <= 0:
+        fail("prof.events is zero — profiler saw no events")
+    per_kind = 0
+    for name, k in prof["kinds"].items():
+        if k.get("count", 0) <= 0 or k.get("ns", -1) < 0:
+            fail(f"prof kind {name!r} has bad count/ns: {k}")
+        per_kind += k["count"]
+    if per_kind != prof["events"]:
+        fail(f"prof per-kind counts sum to {per_kind}, not events={prof['events']}")
+    if prof["queue"]["depth_max"] < prof["queue"]["depth_mean"]:
+        fail("prof.queue depth_max below depth_mean")
+    print(f"check_artifact: prof ok, {prof['events']} events across "
+          f"{len(prof['kinds'])} kinds")
+
+
+def check_timeseries(path, summary):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty time-series file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(f"{path}:1: bad header: {e}")
+    if header.get("schema") != "mspastry-ts/1":
+        fail(f"{path}: unexpected schema tag {header.get('schema')!r}")
+    for key in ("interval_us", "windows", "dropped"):
+        if key not in header:
+            fail(f"{path}: header missing {key!r}")
+    if header["windows"] != len(lines) - 1:
+        fail(f"{path}: header says {header['windows']} windows, "
+             f"file has {len(lines) - 1}")
+    if summary is not None:
+        for key in ("interval_us", "windows", "dropped"):
+            if header[key] != summary.get(key):
+                fail(f"{path}: header {key}={header[key]} does not match run "
+                     f"artifact summary {summary.get(key)!r}")
+    prev_end = None
+    for i, line in enumerate(lines[1:], 2):
+        try:
+            w = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i}: bad JSONL: {e}")
+        for key in ("start_us", "end_us", "counters", "histograms"):
+            if key not in w:
+                fail(f"{path}:{i}: window missing {key!r}")
+        if w["end_us"] <= w["start_us"]:
+            fail(f"{path}:{i}: empty or inverted window "
+                 f"[{w['start_us']}, {w['end_us']}]")
+        if prev_end is not None and w["start_us"] != prev_end:
+            fail(f"{path}:{i}: window starts at {w['start_us']}, previous "
+                 f"ended at {prev_end} — series not contiguous")
+        prev_end = w["end_us"]
+        for name, delta in w["counters"].items():
+            if not isinstance(delta, int) or delta <= 0:
+                fail(f"{path}:{i}: counter {name!r} delta {delta!r} is not a "
+                     "positive integer (quiet metrics must be omitted)")
+        for name, h in w["histograms"].items():
+            if "count" not in h or "sum" not in h:
+                fail(f"{path}:{i}: histogram {name!r} missing count/sum")
+    samples = sum(1 for l in lines[1:] if json.loads(l)["counters"])
+    print(f"check_artifact: {path}: {len(lines) - 1} contiguous windows "
+          f"({samples} non-quiet), interval {header['interval_us']} us")
 
 
 def check_trace(path, expected_events):
@@ -129,12 +209,22 @@ def check_trace(path, expected_events):
 
 
 def main():
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    ts_path = None
+    if "--timeseries" in args:
+        i = args.index("--timeseries")
+        if i + 1 >= len(args):
+            fail("--timeseries requires a path")
+        ts_path = args[i + 1]
+        del args[i:i + 2]
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    doc = check_run(sys.argv[1])
-    if len(sys.argv) > 2:
-        check_trace(sys.argv[2], doc.get("trace", {}).get("events"))
+    doc = check_run(args[0])
+    if len(args) > 1:
+        check_trace(args[1], doc.get("trace", {}).get("events"))
+    if ts_path is not None:
+        check_timeseries(ts_path, doc.get("timeseries"))
     print("check_artifact: OK")
 
 
